@@ -1,0 +1,36 @@
+"""Ablation A3: purification protocol choice in the end-to-end budget.
+
+The paper argues (Section 4.7) that the BBPSSW protocol would need orders of
+magnitude more EPR pairs than DEJMPS, which is why all its budget analysis
+uses DEJMPS.  This ablation quantifies that decision with the full budget
+model rather than the bare recurrence.
+"""
+
+from repro.core.budget import EPRBudgetModel
+from repro.physics.parameters import IonTrapParameters
+
+
+def test_protocol_choice_ablation(benchmark):
+    params = IonTrapParameters.default()
+
+    def run():
+        results = {}
+        for protocol in ("dejmps", "bbpssw"):
+            model = EPRBudgetModel(params, protocol=protocol)
+            results[protocol] = {hops: model.budget(hops) for hops in (10, 20, 30)}
+        return results
+
+    results = benchmark(run)
+    print("\n protocol | hops | rounds | pairs teleported | total pairs")
+    for protocol, budgets in results.items():
+        for hops, budget in budgets.items():
+            print(
+                f" {protocol:8s} | {hops:4d} | {budget.endpoint_rounds:6d} | "
+                f"{budget.pairs_teleported:16.3g} | {budget.total_pairs:11.3g}"
+            )
+    for hops in (10, 20, 30):
+        dejmps = results["dejmps"][hops]
+        bbpssw = results["bbpssw"][hops]
+        # BBPSSW needs more purification rounds, hence exponentially more pairs.
+        assert bbpssw.endpoint_rounds > dejmps.endpoint_rounds
+        assert bbpssw.pairs_teleported > 10 * dejmps.pairs_teleported

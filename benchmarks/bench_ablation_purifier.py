@@ -1,0 +1,59 @@
+"""Ablation A2: queue purifier depth and hardware organisation (Section 5.1).
+
+Compares the queue purifier against the naive tree implementation (hardware
+units needed) and sweeps the tree depth to show the latency/throughput trade
+the paper describes, using both the closed-form model and the event-driven
+purifier.
+"""
+
+from repro.physics.parameters import IonTrapParameters
+from repro.sim.engine import SimulationEngine
+from repro.sim.qpurifier import QueuePurifier, QueuePurifierModel
+
+
+def test_queue_purifier_depth_sweep(benchmark):
+    def run():
+        rows = []
+        for depth in (1, 2, 3, 4):
+            model = QueuePurifierModel(units=1, depth=depth)
+            rows.append(
+                (
+                    depth,
+                    model.raw_pairs_per_good_pair,
+                    model.rounds_per_good_pair,
+                    model.good_pair_period_us,
+                    model.hardware_units_naive_tree(),
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    print("\n depth | raw pairs | rounds | period (us) | naive tree units")
+    for depth, raw, rounds, period, naive in rows:
+        print(f" {depth:5d} | {raw:9.1f} | {rounds:6.1f} | {period:11.1f} | {naive:4d} (queue: {depth})")
+    # Exponential raw-pair and round cost per extra depth level.
+    assert rows[3][1] == 2 * rows[2][1]
+    # The queue purifier needs depth units; the naive tree needs 2^depth - 1.
+    assert rows[3][4] == 15
+
+
+def test_event_driven_purifier_matches_model_throughput(benchmark):
+    params = IonTrapParameters.default()
+
+    def run():
+        engine = SimulationEngine()
+        purifier = QueuePurifier(engine, units=2, depth=3, params=params)
+        for _ in range(8 * 20):
+            purifier.accept_raw_pair()
+        engine.run()
+        return engine.now, purifier.good_pairs_produced
+
+    elapsed, good_pairs = benchmark(run)
+    model = QueuePurifierModel(units=2, depth=3, round_time_us=params.times.purify_round(0.0))
+    measured_period = elapsed / good_pairs
+    print(
+        f"\nEvent-driven period: {measured_period:.1f} us/good pair; "
+        f"closed-form: {model.good_pair_period_us:.1f} us/good pair"
+    )
+    assert good_pairs == 20
+    assert 0.8 * model.good_pair_period_us <= measured_period <= 1.5 * model.good_pair_period_us

@@ -1,0 +1,64 @@
+"""Ablation A1: dimension-order routing direction and layout contention.
+
+The paper's router fixes XY dimension-order routing (Section 3.2).  This
+ablation measures how much link/node load imbalance that choice creates for
+the QFT traffic under both layouts, and confirms that XY and YX are mirror
+images (so the choice is arbitrary, as the paper implies).
+"""
+
+from repro.network.layout import HomeBaseLayout, MobileQubitLayout
+from repro.network.routing import DimensionOrder, dimension_order_route, link_load, node_load
+from repro.network.topology import square_mesh
+from repro.workloads.qft import qft_pairs
+
+
+def _qft_paths(layout_cls, order, side=8):
+    topology = square_mesh(side)
+    layout = layout_cls(topology, side * side)
+    paths = []
+    for a, b in qft_pairs(side * side):
+        for request in layout.communications_for(a, b):
+            if not request.is_local:
+                paths.append(dimension_order_route(request.source, request.dest, order=order))
+    return paths
+
+
+def test_routing_order_and_layout_contention(benchmark):
+    def run():
+        results = {}
+        for layout_cls in (HomeBaseLayout, MobileQubitLayout):
+            paths = _qft_paths(layout_cls, DimensionOrder.XY)
+            loads = link_load(paths)
+            nodes = node_load(paths)
+            results[layout_cls.name] = (
+                len(paths),
+                sum(p.hops for p in paths) / len(paths),
+                max(loads.values()),
+                sum(loads.values()) / len(loads),
+                max(nodes.values()),
+            )
+        return results
+
+    results = benchmark(run)
+    print("\n layout       | paths | avg hops | max link load | mean link load | max node load")
+    for name, (count, hops, max_link, mean_link, max_node) in results.items():
+        print(
+            f" {name:12s} | {count:5d} | {hops:8.2f} | {max_link:13d} | {mean_link:14.1f} | {max_node:8d}"
+        )
+    home = results["home_base"]
+    mobile = results["mobile_qubit"]
+    # Home Base traffic travels much farther and concentrates more load on the
+    # busiest router, which is why it is teleporter-bandwidth bound (Figure 16).
+    assert home[1] > 2 * mobile[1]
+    assert home[4] > mobile[4]
+
+
+def test_xy_and_yx_are_mirror_images(benchmark):
+    def run():
+        xy = _qft_paths(HomeBaseLayout, DimensionOrder.XY, side=6)
+        yx = _qft_paths(HomeBaseLayout, DimensionOrder.YX, side=6)
+        return xy, yx
+
+    xy, yx = benchmark(run)
+    assert sum(p.hops for p in xy) == sum(p.hops for p in yx)
+    assert max(link_load(xy).values()) == max(link_load(yx).values())

@@ -1,0 +1,23 @@
+"""Text claim (Section 4.6): ballistic vs teleportation latency crossover."""
+
+from repro.core.crossover import crossover_distance_cells, crossover_series, latency_comparison
+
+
+def test_crossover_near_600_cells(benchmark):
+    crossover = benchmark(crossover_distance_cells)
+    print(f"\nLatency crossover: {crossover} cells (paper: ~600)")
+    assert 550 <= crossover <= 650
+
+
+def test_crossover_series_shape(benchmark):
+    series = benchmark(lambda: crossover_series(1200, step=100))
+    rows = [
+        (c.distance_cells, round(c.ballistic_us, 1), round(c.teleportation_us, 1))
+        for c in series
+    ]
+    print("\n cells | ballistic us | teleport us")
+    for cells, ballistic, teleport in rows:
+        print(f" {cells:5.0f} | {ballistic:12.1f} | {teleport:11.1f}")
+    # Ballistic wins below the crossover, teleportation above it.
+    assert not latency_comparison(300).teleportation_faster
+    assert latency_comparison(1200).teleportation_faster

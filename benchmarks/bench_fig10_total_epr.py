@@ -1,0 +1,24 @@
+"""Figure 10: total EPR pairs consumed vs distance per purification placement."""
+
+from repro.analysis.fig10 import figure10
+
+
+def test_figure10_total_epr_pairs(benchmark):
+    figure = benchmark(figure10)
+    print("\n" + figure.render())
+    after_twice = figure.get("DEJMPS protocol twice after each teleport")
+    after_once = figure.get("DEJMPS protocol once after each teleport")
+    end_only = figure.get("DEJMPS protocol only at end")
+    wire_once = figure.get("DEJMPS protocol once before teleport")
+    # Shape claim 1: purifying after every teleport is by far the most
+    # expensive and grows (super-)exponentially with distance.
+    assert after_once.y[-1] > 100 * end_only.y[-1]
+    assert after_twice.y[-1] > after_once.y[-1]
+    assert after_once.y[-1] / after_once.y[0] > 1e3
+    # Shape claim 2: endpoint-only and virtual-wire placements stay within a
+    # small factor of each other and grow roughly linearly with distance.
+    assert 0.1 < wire_once.y[-1] / end_only.y[-1] < 10
+    assert end_only.y[-1] / end_only.y[0] < 100
+    # Shape claim 3: at the simulated machine's distances the endpoint-only
+    # scheme needs on the order of hundreds of pairs in total.
+    assert 50 <= end_only.y_at(30) <= 5000

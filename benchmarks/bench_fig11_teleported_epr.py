@@ -1,0 +1,22 @@
+"""Figure 11: EPR pairs teleported through the channel vs distance."""
+
+from repro.analysis.fig11 import figure11
+
+
+def test_figure11_teleported_epr_pairs(benchmark):
+    figure = benchmark(figure11)
+    print("\n" + figure.render())
+    after_once = figure.get("DEJMPS protocol once after each teleport")
+    end_only = figure.get("DEJMPS protocol only at end")
+    wire_once = figure.get("DEJMPS protocol once before teleport")
+    wire_twice = figure.get("DEJMPS protocol twice before teleport")
+    # Shape claim 1 (paper ordering): after-teleport >> endpoint-only >= before-teleport.
+    assert after_once.y[-1] > 100 * end_only.y[-1]
+    assert wire_once.y[-1] <= end_only.y[-1] * 1.05
+    assert wire_twice.y[-1] <= wire_once.y[-1] * 1.05
+    # Shape claim 2: the channel traffic of the endpoint-only scheme is tens
+    # of pairs per good pair at the paper's simulated distances (2^3 with yield).
+    assert 4 <= end_only.y_at(30) <= 50
+    # Shape claim 3: virtual-wire purification reduces strain on the endpoint
+    # purifiers (fewer pairs arriving per good pair).
+    assert wire_twice.y_at(30) < end_only.y_at(30)

@@ -1,0 +1,47 @@
+"""Figure 16: QFT runtime vs interconnect resource allocation.
+
+The paper runs a 16x16 grid (256 logical qubits); that takes tens of minutes
+in this simulator, so the benchmark defaults to a 6x6 grid, which exhibits the
+same contention behaviour.  Set ``REPRO_FIG16_SIDE=16`` in the environment to
+run the paper-scale configuration.
+"""
+
+import os
+
+from repro.analysis.fig16 import figure16
+
+GRID_SIDE = int(os.environ.get("REPRO_FIG16_SIDE", "6"))
+RATIOS = (1, 4, 8)
+
+
+def test_figure16_resource_allocation(benchmark):
+    def run():
+        return figure16(grid_side=GRID_SIDE, ratios=RATIOS, baseline_count=1024)
+
+    figure, points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + figure.render())
+    for point in points:
+        util = point.result.resource_utilisation
+        print(
+            f"  {point.layout:13s} ratio={point.ratio} {point.allocation.label:18s} "
+            f"norm={point.normalised_runtime:7.2f} "
+            f"purifier_util={util.get('purifier', 0):.2f} "
+            f"teleporter_util={util.get('teleporter_x', 0):.2f}"
+        )
+    home = figure.get("home_base")
+    mobile = figure.get("mobile_qubit")
+    # Shape claim 1: every constrained configuration is slower than the
+    # effectively unlimited baseline.
+    assert all(v >= 1.0 for v in home.y) and all(v >= 1.0 for v in mobile.y)
+    # Shape claim 2 (the paper's headline): starving the purifiers (t=g=8p)
+    # hurts the Mobile Qubit layout more than the Home Base layout, relative
+    # to their balanced configurations.
+    home_slowdown = home.y_at(8) / home.y_at(1)
+    mobile_slowdown = mobile.y_at(8) / mobile.y_at(1)
+    print(f"\nSlowdown 8p vs 1p: home_base={home_slowdown:.2f}, mobile={mobile_slowdown:.2f}")
+    assert mobile_slowdown > home_slowdown
+    # Shape claim 3: the Mobile Qubit layout is the faster one in absolute
+    # terms for the QFT (its walk pattern is mostly nearest-neighbour).
+    home_abs = [p.result.makespan_us for p in points if p.layout == "home_base" and p.ratio == 4]
+    mobile_abs = [p.result.makespan_us for p in points if p.layout == "mobile_qubit" and p.ratio == 4]
+    assert mobile_abs[0] < home_abs[0]

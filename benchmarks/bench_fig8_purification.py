@@ -1,0 +1,31 @@
+"""Figure 8: purification error vs rounds, DEJMPS vs BBPSSW."""
+
+from repro.analysis.fig8 import figure8, rounds_to_converge
+
+
+def test_figure8_purification_protocols(benchmark):
+    figure = benchmark(figure8)
+    print("\n" + figure.render())
+    # Shape claim 1: DEJMPS reaches a lower error floor than BBPSSW.
+    for fidelity in (0.99, 0.999, 0.9999):
+        dejmps = figure.get(f"DEJMPS protocol, initial fidelity={fidelity}")
+        bbpssw = figure.get(f"BBPSSW protocol, initial fidelity={fidelity}")
+        assert min(dejmps.y) < min(bbpssw.y)
+        # Shape claim 2: after 5 rounds DEJMPS is already far ahead.
+        assert dejmps.y[5] < bbpssw.y[5]
+    # Shape claim 3: BBPSSW needs ~5-10x more rounds to converge.
+    ratio = rounds_to_converge("bbpssw", 0.99) / max(rounds_to_converge("dejmps", 0.99), 1)
+    print(f"\nBBPSSW/DEJMPS convergence-round ratio at F0=0.99: {ratio:.1f}x")
+    assert ratio >= 4
+
+
+def test_figure8_floor_set_by_operation_errors(benchmark):
+    from repro.physics.parameters import IonTrapParameters
+
+    def run():
+        return figure8(IonTrapParameters.uniform_error(1e-6), max_rounds=15)
+
+    degraded = benchmark(run)
+    baseline = figure8(max_rounds=15)
+    label = "DEJMPS protocol, initial fidelity=0.999"
+    assert min(degraded.get(label).y) > min(baseline.get(label).y)

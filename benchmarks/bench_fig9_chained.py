@@ -1,0 +1,34 @@
+"""Figure 9: EPR error vs number of chained teleportations."""
+
+from repro.analysis.fig9 import error_amplification, figure9
+from repro.physics.constants import THRESHOLD_ERROR
+
+
+def test_figure9_chained_teleportation_error(benchmark):
+    figure = benchmark(figure9)
+    print("\n" + figure.render())
+    # Shape claim 1: error grows monotonically with hop count.
+    for label in figure.labels:
+        if label != "threshold error":
+            assert figure.get(label).is_monotonic_increasing()
+    # Shape claim 2: the 1e-4 curve crosses the threshold within a few hops,
+    # the 1e-8 curve stays below it for the whole plotted range's first half.
+    worst = figure.get("1e-04 initial error")
+    best = figure.get("1e-08 initial error")
+    assert worst.y_at(10) > THRESHOLD_ERROR
+    assert best.y_at(5) < THRESHOLD_ERROR
+    # Shape claim 3: the paper's "factor of 100" amplification at 64 hops.
+    amplification = error_amplification(1e-4, 64)
+    print(f"\nError amplification after 64 hops (1e-4 initial): {amplification:.0f}x")
+    assert 30 <= amplification <= 150
+
+
+def test_figure9_purification_is_needed_for_long_channels(benchmark):
+    """Even good initial pairs violate the threshold over a 32x32 logical grid."""
+
+    def run():
+        return figure9(max_hops=64)
+
+    figure = benchmark(run)
+    series = figure.get("1e-05 initial error")
+    assert series.y_at(64) > THRESHOLD_ERROR

@@ -1,0 +1,14 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures, prints the
+reproduced rows/series (so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the reproduction report) and asserts the qualitative shape the paper
+claims.  Timing is measured by pytest-benchmark.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

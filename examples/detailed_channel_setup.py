@@ -1,0 +1,60 @@
+"""Watch one channel being set up at individual EPR-pair granularity.
+
+The flow simulator treats channel setup as a fluid; this example runs the
+detailed event-driven model instead: raw pairs are pulled from the virtual
+wire buffers, swapped through every intermediate router (queueing for its X or
+Y teleporter set) and climbed through the endpoint queue purifier until enough
+above-threshold pairs exist to teleport a logical qubit.
+
+Run with:  python examples/detailed_channel_setup.py
+"""
+
+from repro import Coordinate, QuantumMachine, ResourceAllocation
+from repro.core.logical import STEANE_LEVEL_1
+from repro.sim.channel_setup import DetailedChannelSetup
+from repro.sim.qpurifier import QueuePurifierModel
+
+
+def main() -> None:
+    machine = QuantumMachine(
+        8,
+        allocation=ResourceAllocation(teleporters_per_node=4, generators_per_node=4, purifiers_per_node=2),
+        encoding=STEANE_LEVEL_1,  # 7 physical qubits per logical qubit keeps the run small
+    )
+    source, destination = Coordinate(0, 0), Coordinate(5, 4)
+    plan = machine.planner.plan(source, destination)
+    print(plan.describe())
+    print(f"Endpoint purification depth: {plan.budget.endpoint_rounds} rounds")
+    print()
+
+    setup = DetailedChannelSetup(machine, plan)
+    result = setup.run()
+    print(result.describe())
+    print()
+
+    model = QueuePurifierModel(
+        units=machine.allocation.purifiers_per_node,
+        depth=plan.budget.endpoint_rounds,
+        round_time_us=machine.params.times.purify_round(0.0),
+    )
+    print(
+        "Steady-state good-pair period: "
+        f"{result.steady_state_pair_period_us:.1f} us measured vs "
+        f"{model.good_pair_period_us:.1f} us predicted by the queue-purifier model."
+    )
+    print()
+    print("Per-link generator utilisation (first five links):")
+    for name, value in list(result.generator_utilisation.items())[:5]:
+        print(f"  {name:24s} {value:6.1%}")
+    print("Per-router teleporter utilisation (first five routers):")
+    for name, value in list(result.teleporter_utilisation.items())[:5]:
+        print(f"  {name:24s} {value:6.1%}")
+    print()
+    print(
+        "The pipeline keeps only a handful of pairs in flight at any moment —\n"
+        "the paper's observation that per-node storage requirements stay small."
+    )
+
+
+if __name__ == "__main__":
+    main()

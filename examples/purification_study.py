@@ -1,0 +1,52 @@
+"""Purification study: DEJMPS vs BBPSSW and where to purify along a channel.
+
+Reproduces the reasoning behind Figures 8, 10 and 11: how fast each
+recurrence protocol converges, what its noise floor is, and how the choice of
+purification placement changes the EPR budget of a long channel.
+
+Run with:  python examples/purification_study.py
+"""
+
+from repro import IonTrapParameters, get_protocol, standard_schemes
+from repro.core.budget import compare_placements
+from repro.physics.states import BellDiagonalState
+
+
+def protocol_comparison(params: IonTrapParameters) -> None:
+    print("=== Protocol comparison (Figure 8) ===")
+    state = BellDiagonalState.werner(0.99)
+    target = params.threshold_fidelity
+    for name in ("dejmps", "bbpssw"):
+        protocol = get_protocol(name, params)
+        series = protocol.error_series(state, 12)
+        rounds = protocol.rounds_to_fidelity(state, target)
+        floor = 1.0 - protocol.max_achievable_fidelity(state)
+        print(f"{protocol.name}: rounds to threshold = {rounds}, error floor = {floor:.2e}")
+        print("  error per round:", " ".join(f"{e:.1e}" for e in series))
+    print()
+
+
+def placement_comparison(params: IonTrapParameters) -> None:
+    print("=== Purification placement (Figures 10 and 11), 30-hop channel ===")
+    print(f"{'placement':32s} {'rounds':>6s} {'teleported':>12s} {'total':>12s}")
+    for budget in compare_placements(30, standard_schemes(), params):
+        print(
+            f"{budget.placement.label:32s} {budget.endpoint_rounds:6d} "
+            f"{budget.pairs_teleported:12.3g} {budget.total_pairs:12.3g}"
+        )
+    print()
+    print(
+        "Purifying after every teleport is exponentially wasteful; purifying the\n"
+        "virtual wires keeps channel traffic (and endpoint purifier load) lowest,\n"
+        "which is why the paper's design purifies on the wires and at the endpoints."
+    )
+
+
+def main() -> None:
+    params = IonTrapParameters.default()
+    protocol_comparison(params)
+    placement_comparison(params)
+
+
+if __name__ == "__main__":
+    main()

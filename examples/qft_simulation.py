@@ -1,0 +1,57 @@
+"""Simulate the QFT communication pattern on a mesh machine (Section 5).
+
+Runs the all-to-all Quantum Fourier Transform pattern under both machine
+layouts (Home Base and Mobile Qubit) and two resource allocations, reporting
+runtime, channel statistics and which resource was the bottleneck — a small
+version of the Figure 16 experiment.
+
+Run with:  python examples/qft_simulation.py [grid_side]
+"""
+
+import sys
+
+from repro import CommunicationSimulator, QuantumMachine, ResourceAllocation, qft_stream
+
+
+def run_one(grid_side: int, layout: str, allocation: ResourceAllocation) -> None:
+    machine = QuantumMachine(grid_side, allocation=allocation, layout=layout)
+    stream = qft_stream(grid_side * grid_side)
+    result = CommunicationSimulator(machine).run(stream)
+    bottleneck = result.bottleneck_resource()
+    print(
+        f"{layout:13s} {allocation.label:16s} "
+        f"makespan = {result.makespan_us / 1e6:7.3f} s, "
+        f"channels = {result.channel_count:5d}, "
+        f"avg hops = {result.average_channel_hops():5.2f}, "
+        f"bottleneck = {bottleneck} "
+        f"({result.resource_utilisation.get(bottleneck, 0):.0%} utilised)"
+    )
+
+
+def main() -> None:
+    grid_side = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    qubits = grid_side * grid_side
+    stream = qft_stream(qubits)
+    print(
+        f"QFT on {qubits} logical qubits: {len(stream)} two-qubit operations, "
+        f"critical path {stream.critical_path_length()}, "
+        f"max parallelism {stream.max_parallelism()}\n"
+    )
+    allocations = [
+        ResourceAllocation.uniform(1024),          # effectively unlimited (baseline)
+        ResourceAllocation(8, 8, 8),               # balanced
+        ResourceAllocation(8, 8, 1),               # starve the purifiers (t = g = 8p)
+    ]
+    for layout in ("home_base", "mobile_qubit"):
+        for allocation in allocations:
+            run_one(grid_side, layout, allocation)
+        print()
+    print(
+        "Note how the Home Base layout keeps many long channels in flight (teleporter\n"
+        "bound), while the Mobile Qubit layout's nearest-neighbour walk shifts the\n"
+        "bottleneck to the endpoint purifiers when p is starved — the Figure 16 effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: build a reliable quantum channel and inspect its cost.
+
+This walks through the paper's core abstraction: to move a logical qubit
+between two distant functional units, you distribute EPR pairs over a grid of
+teleporter nodes, purify them at the endpoints to the fault-tolerance
+threshold, and teleport the data through them.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    IonTrapParameters,
+    QuantumChannel,
+    crossover_distance_cells,
+    pairs_per_logical_communication,
+)
+from repro.core.metrics import evaluate_channel_metrics
+
+
+def main() -> None:
+    params = IonTrapParameters.default()
+    print("Ion-trap technology parameters (paper Tables 1 and 2)")
+    print(params.describe())
+    print()
+
+    crossover = crossover_distance_cells(params)
+    print(
+        f"Teleportation beats ballistic movement beyond ~{crossover} cells, "
+        "which is why the mesh places teleporter (T') nodes one 'hop' "
+        f"(= {params.cells_per_hop} cells) apart.\n"
+    )
+
+    # A channel spanning 30 hops: the corner-to-corner distance of the
+    # paper's 16x16 grid of logical qubits.
+    channel = QuantumChannel(hops=30, params=params)
+    report = channel.build(data_fidelity_in=1.0)
+    print(report.describe())
+    print()
+
+    metrics = evaluate_channel_metrics(report, teleporters_per_node=4)
+    print("The paper's evaluation metrics for this channel:")
+    print(metrics.describe())
+    print()
+
+    rounds = report.budget.endpoint_rounds
+    print(
+        f"Endpoint purification depth is {rounds} rounds, so moving one "
+        f"level-2 encoded logical qubit (49 physical qubits) needs "
+        f"{pairs_per_logical_communication(rounds)} raw EPR pairs "
+        "(the paper's 392)."
+    )
+
+
+if __name__ == "__main__":
+    main()

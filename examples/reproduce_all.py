@@ -1,0 +1,22 @@
+"""Regenerate every (light) table and figure of the paper in one run.
+
+Prints the full reproduction report: Tables 1/2, the derived text claims, and
+Figures 8-12.  Figure 16 requires a contention simulation sweep and is left to
+``pytest benchmarks/bench_fig16_resource_allocation.py --benchmark-only -s``
+(or pass ``--heavy`` here to include a reduced-scale version).
+
+Run with:  python examples/reproduce_all.py [--heavy]
+"""
+
+import sys
+
+from repro.analysis.report import reproduction_report
+
+
+def main() -> None:
+    include_heavy = "--heavy" in sys.argv[1:]
+    print(reproduction_report(include_heavy=include_heavy))
+
+
+if __name__ == "__main__":
+    main()

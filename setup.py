@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on minimal environments that lack
+the ``wheel`` package (PEP 660 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

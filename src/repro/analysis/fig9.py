@@ -1,0 +1,72 @@
+"""Figure 9: EPR error at the logical qubit vs. teleportation hop count.
+
+The paper chains an EPR pair through up to ~70 teleportations whose link pairs
+have a fixed initial fidelity, for initial errors 1e-4 down to 1e-8, and marks
+the fault-tolerance threshold (7.5e-5) as a horizontal line.  Expected shape:
+error grows roughly linearly with hop count (so 64 hops at 1e-4 initial error
+lands near 1e-2 — the paper's "factor of 100"), and the low-initial-error
+curves flatten onto the per-hop gate/measurement error floor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..physics.parameters import IonTrapParameters
+from ..physics.teleportation import chained_teleportation_series
+from .series import FigureData, Series
+
+#: Initial EPR errors plotted in the paper.
+DEFAULT_INITIAL_ERRORS = (1e-4, 1e-5, 1e-6, 1e-7, 1e-8)
+
+
+def figure9(
+    params: Optional[IonTrapParameters] = None,
+    *,
+    initial_errors: Sequence[float] = DEFAULT_INITIAL_ERRORS,
+    max_hops: int = 70,
+) -> FigureData:
+    """Regenerate Figure 9's series (plus the threshold line)."""
+    params = params or IonTrapParameters.default()
+    hops = list(range(max_hops + 1))
+    series = []
+    for error in initial_errors:
+        fidelity = 1.0 - error
+        fidelities = chained_teleportation_series(fidelity, max_hops, fidelity, params)
+        series.append(
+            Series.from_points(
+                f"{error:.0e} initial error",
+                hops,
+                [1.0 - f for f in fidelities],
+            )
+        )
+    series.append(
+        Series.from_points(
+            "threshold error",
+            hops,
+            [params.threshold_error] * len(hops),
+        )
+    )
+    return FigureData(
+        name="figure9",
+        title="EPR error at the logical qubit vs number of teleportations",
+        x_label="distance (teleportation hops)",
+        y_label="EPR error (1 - fidelity)",
+        series=tuple(series),
+        notes=(
+            "Error grows ~linearly with hops; 64 hops at 1e-4 initial error is "
+            "~100x worse, and low-error curves floor at the per-hop gate error."
+        ),
+    )
+
+
+def error_amplification(
+    initial_error: float,
+    hops: int,
+    params: Optional[IonTrapParameters] = None,
+) -> float:
+    """Factor by which the EPR error grows after ``hops`` teleportations."""
+    params = params or IonTrapParameters.default()
+    fidelity = 1.0 - initial_error
+    final = chained_teleportation_series(fidelity, hops, fidelity, params)[-1]
+    return (1.0 - final) / initial_error

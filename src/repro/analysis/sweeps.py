@@ -1,0 +1,64 @@
+"""Small sweep helpers shared by the figure generators."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+def linear_space(start: float, stop: float, count: int) -> List[float]:
+    """``count`` evenly spaced values from ``start`` to ``stop`` inclusive."""
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if count == 1:
+        return [float(start)]
+    step = (stop - start) / (count - 1)
+    return [start + step * i for i in range(count)]
+
+
+def geometric_space(start: float, stop: float, count: int) -> List[float]:
+    """``count`` logarithmically spaced values from ``start`` to ``stop``."""
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if start <= 0 or stop <= 0:
+        raise ConfigurationError("geometric_space needs positive endpoints")
+    if count == 1:
+        return [float(start)]
+    ratio = (stop / start) ** (1.0 / (count - 1))
+    return [start * ratio ** i for i in range(count)]
+
+
+def integer_range(start: int, stop: int, step: int = 1) -> List[int]:
+    """Inclusive integer range, validating the step direction."""
+    if step == 0:
+        raise ConfigurationError("step must be non-zero")
+    values = list(range(start, stop + (1 if step > 0 else -1), step))
+    if not values:
+        raise ConfigurationError(f"empty range {start}..{stop} step {step}")
+    return values
+
+
+def decades(start_exponent: int, stop_exponent: int, per_decade: int = 1) -> List[float]:
+    """Values spanning powers of ten, ``per_decade`` samples per decade."""
+    if per_decade < 1:
+        raise ConfigurationError(f"per_decade must be >= 1, got {per_decade}")
+    lo, hi = sorted((start_exponent, stop_exponent))
+    count = (hi - lo) * per_decade + 1
+    return [10.0 ** (lo + i / per_decade) for i in range(count)]
+
+
+def nearest_index(values: List[float], target: float) -> int:
+    """Index of the value closest to ``target``."""
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    return min(range(len(values)), key=lambda i: abs(values[i] - target))
+
+
+def crossover_index(values: List[float], threshold: float) -> int:
+    """First index at which ``values`` crosses above ``threshold`` (-1 if never)."""
+    for i, value in enumerate(values):
+        if value is not None and not math.isnan(value) and value > threshold:
+            return i
+    return -1

@@ -1,0 +1,70 @@
+"""The paper's primary contribution: reliable quantum channels.
+
+A *quantum channel* between two points of the datapath is established by
+distributing high-fidelity EPR pairs to the endpoints and using them to
+teleport data qubits.  This subpackage models the end-to-end construction of
+such channels:
+
+* :mod:`repro.core.logical` — logical qubit encodings and how many EPR pairs a
+  logical communication needs (the 392 = 2**3 x 49 headline number).
+* :mod:`repro.core.distribution` — the two EPR distribution methodologies
+  (ballistic movement vs. chained teleportation, Figures 4 and 5).
+* :mod:`repro.core.placement` — where purification is applied (endpoints only,
+  virtual wires, or between every teleport).
+* :mod:`repro.core.budget` — the EPR resource budget engine behind
+  Figures 10, 11 and 12.
+* :mod:`repro.core.channel` — the :class:`QuantumChannel` facade producing a
+  single end-to-end report (fidelity, latency, budget, feasibility).
+* :mod:`repro.core.crossover` — the ballistic/teleportation latency crossover
+  that motivates the ~600-cell hop length.
+* :mod:`repro.core.planner` — mapping endpoint pairs onto a mesh topology.
+* :mod:`repro.core.metrics` — the paper's six evaluation metrics.
+"""
+
+from .logical import LogicalQubitEncoding, STEANE_LEVEL_1, STEANE_LEVEL_2, pairs_per_logical_communication
+from .distribution import (
+    BallisticDistribution,
+    ChainedTeleportationDistribution,
+    DistributionMethod,
+    get_distribution,
+)
+from .placement import (
+    PlacementScheme,
+    PurificationPlacement,
+    endpoint_only,
+    between_teleports,
+    virtual_wire,
+    standard_schemes,
+)
+from .budget import ChannelBudget, EPRBudgetModel
+from .channel import ChannelReport, QuantumChannel
+from .crossover import crossover_distance_cells, latency_comparison
+from .metrics import ChannelMetrics, evaluate_channel_metrics
+from .planner import ChannelPlan, ChannelPlanner
+
+__all__ = [
+    "BallisticDistribution",
+    "ChainedTeleportationDistribution",
+    "ChannelBudget",
+    "ChannelMetrics",
+    "ChannelPlan",
+    "ChannelPlanner",
+    "ChannelReport",
+    "DistributionMethod",
+    "EPRBudgetModel",
+    "LogicalQubitEncoding",
+    "PlacementScheme",
+    "PurificationPlacement",
+    "QuantumChannel",
+    "STEANE_LEVEL_1",
+    "STEANE_LEVEL_2",
+    "between_teleports",
+    "crossover_distance_cells",
+    "endpoint_only",
+    "evaluate_channel_metrics",
+    "get_distribution",
+    "latency_comparison",
+    "pairs_per_logical_communication",
+    "standard_schemes",
+    "virtual_wire",
+]

@@ -1,0 +1,88 @@
+"""Ballistic vs. teleportation latency crossover (paper Section 4.6).
+
+Teleportation takes ~122 us regardless of distance (the classical bits are
+orders of magnitude faster than ion movement), while ballistic movement costs
+0.2 us per cell.  The crossover — the distance beyond which teleportation is
+faster — lands near 600 cells, which the paper adopts as the spacing between
+T' nodes (one "hop").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from ..physics.parameters import IonTrapParameters
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """Latency of both transport mechanisms at one distance."""
+
+    distance_cells: float
+    ballistic_us: float
+    teleportation_us: float
+
+    @property
+    def teleportation_faster(self) -> bool:
+        return self.teleportation_us < self.ballistic_us
+
+    @property
+    def ratio(self) -> float:
+        """Ballistic latency divided by teleportation latency."""
+        if self.teleportation_us == 0:
+            return math.inf
+        return self.ballistic_us / self.teleportation_us
+
+
+def latency_comparison(
+    distance_cells: float, params: IonTrapParameters | None = None
+) -> LatencyComparison:
+    """Compare ballistic and teleportation latency at ``distance_cells``."""
+    params = params or IonTrapParameters.default()
+    if distance_cells < 0:
+        raise ConfigurationError(f"distance_cells must be non-negative, got {distance_cells}")
+    return LatencyComparison(
+        distance_cells=distance_cells,
+        ballistic_us=params.times.ballistic(distance_cells),
+        teleportation_us=params.times.teleport(distance_cells),
+    )
+
+
+def crossover_distance_cells(params: IonTrapParameters | None = None) -> int:
+    """Smallest whole-cell distance at which teleportation beats ballistic movement.
+
+    Solves ``t_teleport(D) < t_mv * D`` for integer ``D``; with the paper's
+    constants this is ~610 cells, matching the "about 600 cells" in the text.
+    """
+    params = params or IonTrapParameters.default()
+    per_cell = params.times.move_cell - params.times.classical_per_cell
+    if per_cell <= 0:
+        raise ConfigurationError(
+            "classical transport must be faster than ballistic movement for a crossover to exist"
+        )
+    fixed = params.times.teleport(0.0)
+    return int(math.ceil(fixed / per_cell)) + 1
+
+
+def crossover_series(
+    max_cells: int,
+    step: int = 50,
+    params: IonTrapParameters | None = None,
+) -> List[LatencyComparison]:
+    """Latency comparison sampled from 0 to ``max_cells`` cells."""
+    params = params or IonTrapParameters.default()
+    if max_cells < 0:
+        raise ConfigurationError(f"max_cells must be non-negative, got {max_cells}")
+    if step <= 0:
+        raise ConfigurationError(f"step must be positive, got {step}")
+    return [latency_comparison(d, params) for d in range(0, max_cells + 1, step)]
+
+
+def recommended_hop_cells(params: IonTrapParameters | None = None) -> int:
+    """Hop length the paper recommends: the latency crossover, rounded to 600."""
+    crossover = crossover_distance_cells(params)
+    # Round to the nearest 100 cells, which is how the paper quotes it.
+    return int(round(crossover / 100.0)) * 100

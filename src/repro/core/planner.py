@@ -1,0 +1,128 @@
+"""Channel planning on a mesh topology (paper Section 3.2, "Route Planning").
+
+High-level classical control tracks logical qubits, picks a path for every
+logical communication with dimension-order routing, designates the G node
+nearest the middle of the path as the pair source, and computes the EPR budget
+the channel will need.  :class:`ChannelPlanner` implements exactly that and is
+the bridge between the analytical core and the network/simulation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import RoutingError
+from ..network.geometry import Coordinate
+from ..network.routing import DimensionOrder, Path, dimension_order_route
+from ..network.topology import MeshTopology
+from ..physics.parameters import IonTrapParameters
+from .budget import ChannelBudget, EPRBudgetModel
+from .logical import LogicalQubitEncoding, STEANE_LEVEL_2
+from .placement import PurificationPlacement, endpoint_only
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A planned channel: path, seed generator and resource budget."""
+
+    source: Coordinate
+    destination: Coordinate
+    path: Path
+    generator_node: Coordinate
+    budget: ChannelBudget
+    encoding: LogicalQubitEncoding
+
+    @property
+    def hops(self) -> int:
+        return self.path.hops
+
+    @property
+    def feasible(self) -> bool:
+        return self.budget.feasible
+
+    @property
+    def pairs_per_logical_communication(self) -> float:
+        return self.budget.pairs_per_logical_communication(self.encoding)
+
+    @property
+    def setup_latency_us(self) -> float:
+        return self.budget.setup_latency_us
+
+    def describe(self) -> str:
+        return (
+            f"ChannelPlan {self.source}->{self.destination}: {self.hops} hops via "
+            f"{self.generator_node}, {self.pairs_per_logical_communication:.0f} pairs "
+            f"per logical communication, setup {self.setup_latency_us:.0f} us"
+        )
+
+
+class ChannelPlanner:
+    """Plans channels between T' nodes of a mesh."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        params: IonTrapParameters | None = None,
+        *,
+        placement: Optional[PurificationPlacement] = None,
+        protocol: str = "dejmps",
+        encoding: LogicalQubitEncoding = STEANE_LEVEL_2,
+        order: DimensionOrder = DimensionOrder.XY,
+    ) -> None:
+        self.topology = topology
+        self.params = params or IonTrapParameters.default()
+        if self.params.cells_per_hop != topology.cells_per_hop:
+            self.params = self.params.with_hop_cells(topology.cells_per_hop)
+        self.placement = placement or endpoint_only()
+        self.protocol = protocol
+        self.encoding = encoding
+        self.order = order
+        self._budget_model = EPRBudgetModel(
+            self.params, protocol=protocol, placement=self.placement
+        )
+        self._budget_cache: dict = {}
+
+    def route(self, source: Coordinate, destination: Coordinate) -> Path:
+        """Dimension-order path between two T' nodes."""
+        self.topology.validate_node(source)
+        self.topology.validate_node(destination)
+        return dimension_order_route(source, destination, self.topology, order=self.order)
+
+    def budget_for_hops(self, hops: int) -> ChannelBudget:
+        """EPR budget for a channel of ``hops`` hops (cached per distance)."""
+        if hops not in self._budget_cache:
+            self._budget_cache[hops] = self._budget_model.budget(hops)
+        return self._budget_cache[hops]
+
+    def plan(self, source: Coordinate, destination: Coordinate) -> ChannelPlan:
+        """Plan a channel between two T' nodes."""
+        if source == destination:
+            raise RoutingError("source and destination T' nodes coincide; no channel needed")
+        path = self.route(source, destination)
+        budget = self.budget_for_hops(path.hops)
+        return ChannelPlan(
+            source=source,
+            destination=destination,
+            path=path,
+            generator_node=path.midpoint_node(),
+            budget=budget,
+            encoding=self.encoding,
+        )
+
+    def plan_many(
+        self, endpoints: Sequence[Tuple[Coordinate, Coordinate]]
+    ) -> List[ChannelPlan]:
+        """Plan several channels (skipping zero-length requests)."""
+        plans = []
+        for source, destination in endpoints:
+            if source == destination:
+                continue
+            plans.append(self.plan(source, destination))
+        return plans
+
+    def worst_case_plan(self) -> ChannelPlan:
+        """Plan for the longest (corner-to-corner) channel on the mesh."""
+        corner_a = Coordinate(0, 0)
+        corner_b = Coordinate(self.topology.width - 1, self.topology.height - 1)
+        return self.plan(corner_a, corner_b)

@@ -1,0 +1,46 @@
+"""Mesh interconnect substrate: topology, routing, routers and layouts.
+
+Models the structural side of Section 3 and Section 5 of the paper: a 2-D
+mesh of teleporter (T') nodes joined by virtual wires (G nodes on every link),
+with corrector (C), purifier (P) and logical-qubit (LQ) sites attached, and a
+parallel classical control network.
+"""
+
+from .geometry import Coordinate, manhattan_distance
+from .nodes import (
+    GeneratorSpec,
+    LogicalQubitSite,
+    NodeKind,
+    PurifierSpec,
+    ResourceAllocation,
+    TeleporterSpec,
+)
+from .topology import MeshTopology
+from .routing import DimensionOrder, Path, dimension_order_route
+from .router import QuantumRouter, RouterPort
+from .messages import ClassicalMessage, PauliFrame
+from .classical import ClassicalNetworkModel
+from .layout import HomeBaseLayout, MachineLayout, MobileQubitLayout
+
+__all__ = [
+    "ClassicalMessage",
+    "ClassicalNetworkModel",
+    "Coordinate",
+    "DimensionOrder",
+    "GeneratorSpec",
+    "HomeBaseLayout",
+    "LogicalQubitSite",
+    "MachineLayout",
+    "MeshTopology",
+    "MobileQubitLayout",
+    "NodeKind",
+    "PauliFrame",
+    "Path",
+    "PurifierSpec",
+    "QuantumRouter",
+    "ResourceAllocation",
+    "RouterPort",
+    "TeleporterSpec",
+    "dimension_order_route",
+    "manhattan_distance",
+]

@@ -1,0 +1,71 @@
+"""Grid geometry helpers.
+
+The interconnect is a 2-D mesh; T' nodes sit at integer grid coordinates and
+paths are measured in Manhattan (dimension-ordered) distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Coordinate:
+    """A position on the mesh grid (column ``x``, row ``y``)."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0 or self.y < 0:
+            raise ConfigurationError(f"coordinates must be non-negative, got ({self.x}, {self.y})")
+
+    def manhattan(self, other: "Coordinate") -> int:
+        """Manhattan distance to another coordinate."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def neighbours(self, width: int, height: int) -> List["Coordinate"]:
+        """In-grid 4-neighbours for a ``width`` x ``height`` mesh."""
+        candidates = [
+            (self.x - 1, self.y),
+            (self.x + 1, self.y),
+            (self.x, self.y - 1),
+            (self.x, self.y + 1),
+        ]
+        return [
+            Coordinate(x, y)
+            for x, y in candidates
+            if 0 <= x < width and 0 <= y < height
+        ]
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x},{self.y})"
+
+
+def manhattan_distance(a: Coordinate, b: Coordinate) -> int:
+    """Manhattan distance between two grid coordinates."""
+    return a.manhattan(b)
+
+
+def iter_grid(width: int, height: int) -> Iterator[Coordinate]:
+    """Iterate all coordinates of a ``width`` x ``height`` grid in row-major order."""
+    if width <= 0 or height <= 0:
+        raise ConfigurationError(f"grid dimensions must be positive, got {width}x{height}")
+    for y in range(height):
+        for x in range(width):
+            yield Coordinate(x, y)
+
+
+def midpoint(a: Coordinate, b: Coordinate) -> Coordinate:
+    """Grid coordinate nearest the midpoint of ``a`` and ``b``.
+
+    Used to pick the generator node that seeds a channel (the paper generates
+    the to-be-delivered EPR pair near the middle of the path).
+    """
+    return Coordinate((a.x + b.x) // 2, (a.y + b.y) // 2)

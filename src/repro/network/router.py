@@ -1,0 +1,180 @@
+"""The quantum router model (paper Figure 6).
+
+A router (one per T' node) owns two sets of teleporters — one servicing
+traffic moving in the X dimension, one servicing Y — plus a storage area for
+incoming teleports and classical control that updates cumulative correction
+information and makes the local routing decision.  Turning traffic must be
+ballistically moved between the two teleporter sets.
+
+This module is the *structural* model: it answers which teleporter set a
+qubit needs, how many intra-router cells it must be shuttled, and how much
+storage the node provides.  The queueing/timing behaviour is simulated by
+:mod:`repro.sim.teleporter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..errors import ConfigurationError, RoutingError
+from .geometry import Coordinate
+from .nodes import TeleporterSpec
+
+
+class RouterPort(Enum):
+    """The four mesh directions plus the local ejection port."""
+
+    EAST = "east"
+    WEST = "west"
+    NORTH = "north"
+    SOUTH = "south"
+    LOCAL = "local"
+
+    @property
+    def dimension(self) -> str:
+        """"x" for east/west, "y" for north/south, "local" otherwise."""
+        if self in (RouterPort.EAST, RouterPort.WEST):
+            return "x"
+        if self in (RouterPort.NORTH, RouterPort.SOUTH):
+            return "y"
+        return "local"
+
+
+def port_towards(at: Coordinate, towards: Coordinate) -> RouterPort:
+    """Which output port leads from ``at`` to the adjacent node ``towards``."""
+    dx, dy = towards.x - at.x, towards.y - at.y
+    if (abs(dx) + abs(dy)) != 1:
+        raise RoutingError(f"{towards} is not adjacent to {at}")
+    if dx == 1:
+        return RouterPort.EAST
+    if dx == -1:
+        return RouterPort.WEST
+    if dy == 1:
+        return RouterPort.NORTH
+    return RouterPort.SOUTH
+
+
+@dataclass(frozen=True)
+class RouterTransit:
+    """How one qubit moves through a router."""
+
+    input_port: RouterPort
+    output_port: RouterPort
+    uses_x_set: bool
+    uses_y_set: bool
+    turn: bool
+    intra_router_cells: int
+
+    @property
+    def ejected(self) -> bool:
+        """True if the qubit leaves the network at this router."""
+        return self.output_port is RouterPort.LOCAL
+
+
+class QuantumRouter:
+    """Structural model of one T' node's router.
+
+    Parameters
+    ----------
+    position:
+        Grid coordinate of the T' node.
+    spec:
+        Teleporter allocation for the node.
+    turn_cells / straight_cells / eject_cells:
+        Ballistic distances (in cells) for the three kinds of intra-router
+        movement: turning between the X and Y teleporter sets, passing
+        straight through one set, and ejecting to the local C/P nodes.
+    """
+
+    def __init__(
+        self,
+        position: Coordinate,
+        spec: TeleporterSpec | None = None,
+        *,
+        turn_cells: int = 20,
+        straight_cells: int = 10,
+        eject_cells: int = 30,
+    ) -> None:
+        if turn_cells < 0 or straight_cells < 0 or eject_cells < 0:
+            raise ConfigurationError("intra-router distances must be non-negative")
+        self.position = position
+        self.spec = spec or TeleporterSpec()
+        self.turn_cells = turn_cells
+        self.straight_cells = straight_cells
+        self.eject_cells = eject_cells
+
+    # -- capacities ----------------------------------------------------------
+
+    @property
+    def x_teleporters(self) -> int:
+        """Teleporters dedicated to X-dimension traffic."""
+        return self.spec.per_direction
+
+    @property
+    def y_teleporters(self) -> int:
+        """Teleporters dedicated to Y-dimension traffic."""
+        return self.spec.per_direction
+
+    @property
+    def storage_cells(self) -> int:
+        """Incoming-teleport storage (t per link, four links)."""
+        return self.spec.storage_cells
+
+    # -- transit planning -------------------------------------------------------
+
+    def plan_transit(
+        self,
+        previous: Optional[Coordinate],
+        next_node: Optional[Coordinate],
+    ) -> RouterTransit:
+        """Plan how a qubit moves through this router.
+
+        ``previous`` is the adjacent node the qubit arrived from (None when
+        the qubit is injected locally, e.g. fresh from a G node), and
+        ``next_node`` the adjacent node it continues to (None when this router
+        is the channel endpoint).
+        """
+        input_port = RouterPort.LOCAL if previous is None else port_towards(self.position, previous)
+        output_port = RouterPort.LOCAL if next_node is None else port_towards(self.position, next_node)
+
+        if output_port is RouterPort.LOCAL:
+            uses_x = input_port.dimension == "x"
+            uses_y = input_port.dimension == "y"
+            return RouterTransit(
+                input_port=input_port,
+                output_port=output_port,
+                uses_x_set=uses_x,
+                uses_y_set=uses_y,
+                turn=False,
+                intra_router_cells=self.eject_cells,
+            )
+
+        out_dim = output_port.dimension
+        in_dim = input_port.dimension
+        turn = in_dim in ("x", "y") and out_dim in ("x", "y") and in_dim != out_dim
+        cells = self.turn_cells if turn else self.straight_cells
+        return RouterTransit(
+            input_port=input_port,
+            output_port=output_port,
+            uses_x_set=out_dim == "x",
+            uses_y_set=out_dim == "y",
+            turn=turn,
+            intra_router_cells=cells,
+        )
+
+    def teleporters_for(self, transit: RouterTransit) -> int:
+        """How many teleporters serve the set the transit occupies."""
+        if transit.uses_x_set:
+            return self.x_teleporters
+        if transit.uses_y_set:
+            return self.y_teleporters
+        return self.spec.teleporters
+
+    def describe(self) -> str:
+        return (
+            f"QuantumRouter@{self.position}: t={self.spec.teleporters} "
+            f"({self.x_teleporters} X + {self.y_teleporters} Y), "
+            f"storage={self.storage_cells} cells"
+        )

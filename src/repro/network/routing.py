@@ -1,0 +1,159 @@
+"""Dimension-order routing on the mesh (paper Sections 3.2 and 5).
+
+The paper's scheduler uses dimension-order (XY) routing: a path first travels
+along the X dimension to the destination column, then along Y to the
+destination row.  The router design (Figure 6) mirrors this with separate X
+and Y teleporter sets and a single turn per path.
+
+:class:`Path` captures an ordered list of T' nodes plus derived properties the
+budget and simulation layers need (hop count, traversed links, the turning
+node, per-dimension segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import RoutingError
+from .geometry import Coordinate
+from .topology import LinkId, MeshTopology
+
+
+class DimensionOrder(Enum):
+    """Which dimension is routed first."""
+
+    XY = "xy"
+    YX = "yx"
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered sequence of T' nodes from source to destination."""
+
+    nodes: Tuple[Coordinate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 1:
+            raise RoutingError("a path needs at least one node")
+        for a, b in zip(self.nodes, self.nodes[1:]):
+            if a.manhattan(b) != 1:
+                raise RoutingError(f"path nodes {a} and {b} are not adjacent")
+
+    @property
+    def source(self) -> Coordinate:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> Coordinate:
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of links traversed."""
+        return len(self.nodes) - 1
+
+    @property
+    def links(self) -> Tuple[LinkId, ...]:
+        """The virtual-wire links traversed, in order."""
+        return tuple(LinkId(a, b) for a, b in zip(self.nodes, self.nodes[1:]))
+
+    @property
+    def intermediate_nodes(self) -> Tuple[Coordinate, ...]:
+        """Nodes strictly between source and destination."""
+        return self.nodes[1:-1]
+
+    @property
+    def turn_node(self) -> Optional[Coordinate]:
+        """The node where the path changes dimension, if any."""
+        for prev_node, node, next_node in zip(self.nodes, self.nodes[1:], self.nodes[2:]):
+            moved_x_then_y = prev_node.y == node.y and node.x == next_node.x
+            moved_y_then_x = prev_node.x == node.x and node.y == next_node.y
+            if moved_x_then_y or moved_y_then_x:
+                return node
+        return None
+
+    def midpoint_node(self) -> Coordinate:
+        """Node nearest the middle of the path (where the seed G node sits)."""
+        return self.nodes[len(self.nodes) // 2]
+
+    def contains_node(self, coord: Coordinate) -> bool:
+        return coord in self.nodes
+
+    def contains_link(self, link: LinkId) -> bool:
+        return link in self.links
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+def dimension_order_route(
+    source: Coordinate,
+    destination: Coordinate,
+    topology: Optional[MeshTopology] = None,
+    *,
+    order: DimensionOrder = DimensionOrder.XY,
+) -> Path:
+    """Compute the dimension-order path between two T' nodes.
+
+    When a topology is given, both endpoints are validated against it.
+    """
+    if topology is not None:
+        topology.validate_node(source)
+        topology.validate_node(destination)
+    nodes: List[Coordinate] = [source]
+    current = source
+
+    def _walk_x(target_x: int) -> None:
+        nonlocal current
+        step = 1 if target_x > current.x else -1
+        while current.x != target_x:
+            current = Coordinate(current.x + step, current.y)
+            nodes.append(current)
+
+    def _walk_y(target_y: int) -> None:
+        nonlocal current
+        step = 1 if target_y > current.y else -1
+        while current.y != target_y:
+            current = Coordinate(current.x, current.y + step)
+            nodes.append(current)
+
+    if order is DimensionOrder.XY:
+        _walk_x(destination.x)
+        _walk_y(destination.y)
+    else:
+        _walk_y(destination.y)
+        _walk_x(destination.x)
+    return Path(tuple(nodes))
+
+
+def route_many(
+    pairs: Sequence[Tuple[Coordinate, Coordinate]],
+    topology: Optional[MeshTopology] = None,
+    *,
+    order: DimensionOrder = DimensionOrder.XY,
+) -> List[Path]:
+    """Route a batch of (source, destination) pairs."""
+    return [dimension_order_route(s, d, topology, order=order) for s, d in pairs]
+
+
+def link_load(paths: Sequence[Path]) -> dict:
+    """Count how many paths traverse each link (contention estimate)."""
+    load: dict = {}
+    for path in paths:
+        for link in path.links:
+            load[link] = load.get(link, 0) + 1
+    return load
+
+
+def node_load(paths: Sequence[Path]) -> dict:
+    """Count how many paths traverse each T' node (router sharing estimate)."""
+    load: dict = {}
+    for path in paths:
+        for node in path.nodes:
+            load[node] = load.get(node, 0) + 1
+    return load

@@ -1,0 +1,181 @@
+"""Mesh grid topology (paper Section 3.2 and Figure 13).
+
+A ``width x height`` mesh of T' nodes, with a G node on every link between
+adjacent T' nodes (the virtual wires) and a purifier/corrector/logical-qubit
+cluster attached to every T' node.  The topology is backed by a
+:class:`networkx.Graph` so standard graph algorithms (connectivity checks,
+shortest paths for validation, bisection estimates) are available, while the
+routing used by the paper — dimension order — lives in
+:mod:`repro.network.routing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigurationError, RoutingError
+from .geometry import Coordinate, iter_grid, manhattan_distance
+from .nodes import ResourceAllocation
+
+
+@dataclass(frozen=True)
+class LinkId:
+    """Identifier of the virtual wire between two adjacent T' nodes."""
+
+    a: Coordinate
+    b: Coordinate
+
+    def __post_init__(self) -> None:
+        if manhattan_distance(self.a, self.b) != 1:
+            raise ConfigurationError(
+                f"a link must join adjacent T' nodes, got {self.a} and {self.b}"
+            )
+        # Canonical orientation so LinkId(a, b) == LinkId(b, a).
+        if (self.b.x, self.b.y) < (self.a.x, self.a.y):
+            first, second = self.b, self.a
+            object.__setattr__(self, "a", first)
+            object.__setattr__(self, "b", second)
+
+    @classmethod
+    def between(cls, a: Coordinate, b: Coordinate) -> "LinkId":
+        return cls(a, b)
+
+    @property
+    def horizontal(self) -> bool:
+        return self.a.y == self.b.y
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.a}-{self.b}"
+
+
+class MeshTopology:
+    """A mesh of T' nodes with G nodes on links and P/C/LQ sites at nodes."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        allocation: ResourceAllocation | None = None,
+        *,
+        cells_per_hop: int = 600,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ConfigurationError(f"mesh dimensions must be >= 1, got {width}x{height}")
+        if cells_per_hop < 1:
+            raise ConfigurationError(f"cells_per_hop must be >= 1, got {cells_per_hop}")
+        self.width = width
+        self.height = height
+        self.allocation = allocation or ResourceAllocation()
+        self.cells_per_hop = cells_per_hop
+        self._graph = nx.Graph()
+        self._links: Dict[LinkId, None] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for coord in iter_grid(self.width, self.height):
+            self._graph.add_node(coord)
+        for coord in iter_grid(self.width, self.height):
+            for neighbour in coord.neighbours(self.width, self.height):
+                if coord < neighbour:
+                    link = LinkId(coord, neighbour)
+                    self._graph.add_edge(coord, neighbour, link=link)
+                    self._links[link] = None
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (nodes are :class:`Coordinate`)."""
+        return self._graph
+
+    @property
+    def node_count(self) -> int:
+        return self.width * self.height
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def nodes(self) -> Iterator[Coordinate]:
+        """All T' node coordinates in row-major order."""
+        return iter_grid(self.width, self.height)
+
+    def links(self) -> Iterable[LinkId]:
+        """All virtual-wire links."""
+        return self._links.keys()
+
+    def contains(self, coord: Coordinate) -> bool:
+        return 0 <= coord.x < self.width and 0 <= coord.y < self.height
+
+    def validate_node(self, coord: Coordinate) -> Coordinate:
+        if not self.contains(coord):
+            raise RoutingError(f"{coord} is outside the {self.width}x{self.height} mesh")
+        return coord
+
+    def are_adjacent(self, a: Coordinate, b: Coordinate) -> bool:
+        return self._graph.has_edge(a, b)
+
+    def link_between(self, a: Coordinate, b: Coordinate) -> LinkId:
+        if not self.are_adjacent(a, b):
+            raise RoutingError(f"no link between {a} and {b}")
+        return LinkId(a, b)
+
+    # -- distances ----------------------------------------------------------------
+
+    def hop_distance(self, a: Coordinate, b: Coordinate) -> int:
+        """Manhattan distance in hops between two T' nodes."""
+        self.validate_node(a)
+        self.validate_node(b)
+        return manhattan_distance(a, b)
+
+    def cell_distance(self, a: Coordinate, b: Coordinate) -> int:
+        """Physical distance in ballistic cells between two T' nodes."""
+        return self.hop_distance(a, b) * self.cells_per_hop
+
+    def diameter_hops(self) -> int:
+        """Longest Manhattan distance on the mesh (corner to corner)."""
+        return (self.width - 1) + (self.height - 1)
+
+    # -- resource accounting ------------------------------------------------------
+
+    def total_teleporters(self) -> int:
+        return self.node_count * self.allocation.teleporters_per_node
+
+    def total_generators(self) -> int:
+        return self.link_count * self.allocation.generators_per_node
+
+    def total_purifiers(self) -> int:
+        return self.node_count * self.allocation.purifiers_per_node
+
+    def interconnect_area_units(self) -> int:
+        """Area proxy: one unit per teleporter, generator and purifier."""
+        return (
+            self.total_teleporters() + self.total_generators() + self.total_purifiers()
+        )
+
+    def describe(self) -> str:
+        return (
+            f"MeshTopology {self.width}x{self.height}: "
+            f"{self.node_count} T' nodes, {self.link_count} virtual wires, "
+            f"allocation {self.allocation.label}, "
+            f"{self.cells_per_hop} cells/hop"
+        )
+
+    # -- validation helpers ----------------------------------------------------------
+
+    def shortest_path_length(self, a: Coordinate, b: Coordinate) -> int:
+        """Graph-theoretic shortest path length (equals Manhattan distance)."""
+        self.validate_node(a)
+        self.validate_node(b)
+        return nx.shortest_path_length(self._graph, a, b)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._graph)
+
+
+def square_mesh(side: int, allocation: ResourceAllocation | None = None, **kwargs) -> MeshTopology:
+    """Convenience constructor for the paper's square grids (16x16 default)."""
+    return MeshTopology(side, side, allocation, **kwargs)

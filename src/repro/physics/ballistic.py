@@ -1,0 +1,84 @@
+"""Ballistic transport model (paper Section 4.3, Eqs. 1 and 2).
+
+Ballistic movement shuttles an ion through a chain of traps by pulsing
+electrodes.  Every cell traversed is an independent chance of decohering, so
+fidelity decays geometrically with distance while latency grows linearly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .fidelity import validate_fidelity
+from .parameters import IonTrapParameters
+from .states import BellDiagonalState
+
+
+def ballistic_fidelity(
+    fidelity_in: float,
+    distance_cells: float,
+    params: IonTrapParameters | None = None,
+) -> float:
+    """Fidelity after ballistically moving a qubit over ``distance_cells`` cells.
+
+    Implements Eq. 1: ``F_new = F_old * (1 - p_mv) ** D``.
+    """
+    params = params or IonTrapParameters.default()
+    f_in = validate_fidelity(fidelity_in, name="fidelity_in")
+    if distance_cells < 0:
+        raise ConfigurationError(f"distance_cells must be non-negative, got {distance_cells}")
+    return f_in * (1.0 - params.errors.move_cell) ** distance_cells
+
+
+def ballistic_error(
+    error_in: float,
+    distance_cells: float,
+    params: IonTrapParameters | None = None,
+) -> float:
+    """Error (1 - fidelity) after ballistic movement; convenience wrapper."""
+    return 1.0 - ballistic_fidelity(1.0 - error_in, distance_cells, params)
+
+
+def ballistic_time(distance_cells: float, params: IonTrapParameters | None = None) -> float:
+    """Latency of a ballistic move over ``distance_cells`` cells (Eq. 2)."""
+    params = params or IonTrapParameters.default()
+    if distance_cells < 0:
+        raise ConfigurationError(f"distance_cells must be non-negative, got {distance_cells}")
+    return params.times.ballistic(distance_cells)
+
+
+def ballistic_move_state(
+    state: BellDiagonalState,
+    distance_cells: float,
+    params: IonTrapParameters | None = None,
+) -> BellDiagonalState:
+    """Apply ballistic-movement decoherence to a Bell-diagonal pair state.
+
+    The movement error acts on whichever half of the pair is being shuttled;
+    per Eq. 1 the surviving weight of the reference state decays by
+    ``(1 - p_mv) ** D`` and the loss is spread across the error components.
+    """
+    params = params or IonTrapParameters.default()
+    if distance_cells < 0:
+        raise ConfigurationError(f"distance_cells must be non-negative, got {distance_cells}")
+    return state.movement_decay(params.errors.move_cell, distance_cells)
+
+
+def max_ballistic_distance(
+    error_budget: float,
+    params: IonTrapParameters | None = None,
+) -> int:
+    """Largest whole number of cells movable without exceeding ``error_budget``.
+
+    Useful for sizing how far a data qubit may be shuttled before error
+    correction must intervene (Section 2.3's motivation for teleportation).
+    """
+    params = params or IonTrapParameters.default()
+    if not (0.0 < error_budget < 1.0):
+        raise ConfigurationError(f"error_budget must be in (0, 1), got {error_budget}")
+    p = params.errors.move_cell
+    if p <= 0.0:
+        raise ConfigurationError("move_cell error must be positive to bound distance")
+    import math
+
+    # (1 - p) ** D >= 1 - budget  =>  D <= log(1 - budget) / log(1 - p)
+    return int(math.floor(math.log(1.0 - error_budget) / math.log(1.0 - p)))

@@ -1,0 +1,96 @@
+"""Ion-trap technology constants from the paper (Tables 1 and 2).
+
+Times are in microseconds, distances in cells (one ion trap), and error
+values are probabilities per operation.  The fault-tolerance threshold is the
+value quoted in Section 4.6 from the threshold theorem for local fault
+tolerant computation: data qubit fidelity must stay above ``1 - 7.5e-5``.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Table 1: operation times (microseconds)
+# --------------------------------------------------------------------------
+
+#: One-qubit gate time, t_1q.
+T_ONE_QUBIT_GATE_US = 1.0
+#: Two-qubit gate time, t_2q.
+T_TWO_QUBIT_GATE_US = 20.0
+#: Ballistic movement through one cell (one ion trap), t_mv.
+T_MOVE_CELL_US = 0.2
+#: Measurement time, t_ms.
+T_MEASURE_US = 100.0
+#: EPR pair generation time, t_gen (Table 1 lists 122 us).
+T_GENERATE_US = 122.0
+#: Teleportation time excluding classical transmission, t_tprt (~122 us).
+T_TELEPORT_US = 122.0
+#: One purification round, t_prfy (~121 us).
+T_PURIFY_US = 121.0
+
+#: Classical bit transport speed, microseconds per cell.  The paper states
+#: classical information moves "orders of magnitude faster than the quantum
+#: operations"; we model it as 1000x faster than ballistic ion movement.
+T_CLASSICAL_PER_CELL_US = T_MOVE_CELL_US / 1000.0
+
+DEFAULT_OPERATION_TIMES = {
+    "one_qubit_gate": T_ONE_QUBIT_GATE_US,
+    "two_qubit_gate": T_TWO_QUBIT_GATE_US,
+    "move_cell": T_MOVE_CELL_US,
+    "measure": T_MEASURE_US,
+    "generate": T_GENERATE_US,
+    "teleport": T_TELEPORT_US,
+    "purify": T_PURIFY_US,
+    "classical_per_cell": T_CLASSICAL_PER_CELL_US,
+}
+
+# --------------------------------------------------------------------------
+# Table 2: error probabilities
+# --------------------------------------------------------------------------
+
+#: One-qubit gate error probability, p_1q.
+P_ONE_QUBIT_GATE = 1e-8
+#: Two-qubit gate error probability, p_2q.
+P_TWO_QUBIT_GATE = 1e-7
+#: Error probability per cell of ballistic movement, p_mv.
+P_MOVE_CELL = 1e-6
+#: Measurement error probability, p_ms.
+P_MEASURE = 1e-8
+
+DEFAULT_ERROR_RATES = {
+    "one_qubit_gate": P_ONE_QUBIT_GATE,
+    "two_qubit_gate": P_TWO_QUBIT_GATE,
+    "move_cell": P_MOVE_CELL,
+    "measure": P_MEASURE,
+}
+
+# --------------------------------------------------------------------------
+# Derived / auxiliary constants
+# --------------------------------------------------------------------------
+
+#: Fault-tolerance threshold expressed as an error (1 - fidelity).  Data
+#: qubit fidelity (and therefore the fidelity of any EPR pair a data qubit
+#: interacts with) must stay above 1 - 7.5e-5 (Svore et al., cited in §4.6).
+THRESHOLD_ERROR = 7.5e-5
+#: The same threshold expressed as a fidelity.
+THRESHOLD_FIDELITY = 1.0 - THRESHOLD_ERROR
+
+#: Default fidelity of a freshly initialised (zeroed) physical qubit before
+#: EPR generation (the F_zero of Eq. 4).  The paper does not pin this number;
+#: we calibrate it so that the endpoint purification depth at the simulated
+#: distances is three rounds (Section 5.3 uses depth-3 queue purifiers and the
+#: 392 = 2^3 x 49 pairs-per-logical-communication figure).
+DEFAULT_ZERO_PREP_FIDELITY = 0.9995
+
+#: Default number of ballistic cells a routed EPR qubit traverses inside each
+#: router it passes through (storage area, turns between the X and Y
+#: teleporter sets in Figure 6).  This is the per-hop movement overhead that
+#: is independent of the virtual-wire link quality.
+DEFAULT_ROUTER_OVERHEAD_CELLS = 20
+
+#: Default number of ballistic cells moved per purification round (bringing
+#: the two pairs adjacent inside a purifier node, Figure 14).
+DEFAULT_PURIFY_MOVE_CELLS = 4
+
+#: Default number of cells between a channel-endpoint T' node and the logical
+#: qubit / purifier site it serves (the final local ballistic move).
+DEFAULT_ENDPOINT_LOCAL_CELLS = 100

@@ -1,0 +1,78 @@
+"""Fidelity helpers.
+
+The paper measures every channel by the *fidelity* of the states it delivers,
+with ``error = 1 - fidelity``.  These helpers centralise validation and the
+Werner-parameter algebra used by the analytical teleportation model (Eq. 3),
+where fidelity appears through the combination ``(4F - 1) / 3``.
+"""
+
+from __future__ import annotations
+
+from ..errors import FidelityError
+
+
+def validate_fidelity(fidelity: float, *, name: str = "fidelity") -> float:
+    """Validate that ``fidelity`` lies in [0, 1] and return it as a float."""
+    value = float(fidelity)
+    if not (0.0 <= value <= 1.0):
+        raise FidelityError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def validate_error(error: float, *, name: str = "error") -> float:
+    """Validate that ``error`` lies in [0, 1] and return it as a float."""
+    value = float(error)
+    if not (0.0 <= value <= 1.0):
+        raise FidelityError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def fidelity_to_error(fidelity: float) -> float:
+    """Convert a fidelity into an error probability (1 - fidelity)."""
+    return 1.0 - validate_fidelity(fidelity)
+
+
+def error_to_fidelity(error: float) -> float:
+    """Convert an error probability into a fidelity (1 - error)."""
+    return 1.0 - validate_error(error)
+
+
+def werner_parameter(fidelity: float) -> float:
+    """Return the Werner (singlet-fraction) parameter ``(4F - 1) / 3``.
+
+    For a Werner state of fidelity ``F`` with respect to a maximally entangled
+    reference state, this is the weight of the pure reference state in the
+    ``rho = w |ref><ref| + (1 - w) I/4`` decomposition.  Eq. 3 of the paper is
+    a product of such parameters.
+    """
+    return (4.0 * validate_fidelity(fidelity) - 1.0) / 3.0
+
+
+def fidelity_from_werner_parameter(w: float) -> float:
+    """Inverse of :func:`werner_parameter`."""
+    if not (-1.0 / 3.0 - 1e-12 <= w <= 1.0 + 1e-12):
+        raise FidelityError(f"Werner parameter must be in [-1/3, 1], got {w}")
+    return (3.0 * w + 1.0) / 4.0
+
+
+def combine_werner(*fidelities: float) -> float:
+    """Compose independent depolarising processes expressed as fidelities.
+
+    The composed Werner parameter is the product of the individual ones; the
+    returned value is the fidelity of the composition.  This is the "errors
+    approximately add" rule the paper uses when reasoning about chained
+    teleportation.
+    """
+    w = 1.0
+    for fidelity in fidelities:
+        w *= werner_parameter(fidelity)
+    return fidelity_from_werner_parameter(w)
+
+
+def clamp_fidelity(value: float) -> float:
+    """Clamp a numerically noisy fidelity into [0, 1]."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value

@@ -1,0 +1,263 @@
+"""Bell-diagonal and Werner state algebra.
+
+Every two-qubit state the communication network manipulates (EPR pairs under
+movement, teleportation and purification) stays within the *Bell-diagonal*
+family: a probabilistic mixture of the four Bell states.  We track the four
+coefficients directly, which makes the paper's closed-form fidelity models
+(Eqs. 1, 3, 4) and the DEJMPS / BBPSSW recurrence maps exact and cheap.
+
+Conventions
+-----------
+The coefficient vector is ordered ``(phi_plus, psi_plus, psi_minus, phi_minus)``
+with ``phi_plus`` the reference (target) Bell state, so
+
+* ``fidelity == phi_plus``
+* an ``X`` error on one half maps ``phi_plus <-> psi_plus`` and
+  ``phi_minus <-> psi_minus``
+* a ``Z`` error maps ``phi_plus <-> phi_minus`` and ``psi_plus <-> psi_minus``
+* a ``Y`` error maps ``phi_plus <-> psi_minus`` and ``psi_plus <-> phi_minus``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ..errors import FidelityError
+from .fidelity import validate_fidelity
+
+_NORMALISATION_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class BellDiagonalState:
+    """A two-qubit state diagonal in the Bell basis.
+
+    Attributes are the weights of the four Bell states; they must be
+    non-negative and sum to one (within numerical tolerance).
+    """
+
+    phi_plus: float
+    psi_plus: float
+    psi_minus: float
+    phi_minus: float
+
+    def __post_init__(self) -> None:
+        coeffs = self.coefficients
+        for name, value in zip(self._FIELDS, coeffs):
+            if value < -_NORMALISATION_TOL:
+                raise FidelityError(f"Bell coefficient {name} must be non-negative, got {value}")
+        total = sum(coeffs)
+        if abs(total - 1.0) > 1e-6:
+            raise FidelityError(f"Bell coefficients must sum to 1, got {total}")
+
+    _FIELDS = ("phi_plus", "psi_plus", "psi_minus", "phi_minus")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def perfect(cls) -> "BellDiagonalState":
+        """The reference Bell state with fidelity 1."""
+        return cls(1.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def maximally_mixed(cls) -> "BellDiagonalState":
+        """The two-qubit maximally mixed state (fidelity 1/4)."""
+        return cls(0.25, 0.25, 0.25, 0.25)
+
+    @classmethod
+    def werner(cls, fidelity: float) -> "BellDiagonalState":
+        """A Werner state of the given fidelity (errors spread evenly)."""
+        f = validate_fidelity(fidelity)
+        rest = (1.0 - f) / 3.0
+        return cls(f, rest, rest, rest)
+
+    @classmethod
+    def from_error(cls, error: float, split: Tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)) -> "BellDiagonalState":
+        """Build a state with total error ``error`` distributed per ``split``.
+
+        ``split`` gives the relative weights of the ``psi_plus``, ``psi_minus``
+        and ``phi_minus`` components and must sum to 1.
+        """
+        if error < 0.0 or error > 1.0:
+            raise FidelityError(f"error must be in [0, 1], got {error}")
+        s = sum(split)
+        if s <= 0:
+            raise FidelityError("split weights must sum to a positive value")
+        frac = [w / s for w in split]
+        return cls(1.0 - error, error * frac[0], error * frac[1], error * frac[2])
+
+    @classmethod
+    def from_coefficients(cls, coefficients: Iterable[float]) -> "BellDiagonalState":
+        """Build a state from an iterable of four coefficients (re-normalised)."""
+        values = [float(v) for v in coefficients]
+        if len(values) != 4:
+            raise FidelityError(f"expected 4 Bell coefficients, got {len(values)}")
+        total = sum(values)
+        if total <= 0:
+            raise FidelityError("Bell coefficients must have a positive sum")
+        values = [max(v, 0.0) / total for v in values]
+        total = sum(values)
+        values = [v / total for v in values]
+        return cls(*values)
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def coefficients(self) -> Tuple[float, float, float, float]:
+        """The four Bell coefficients as a tuple."""
+        return (self.phi_plus, self.psi_plus, self.psi_minus, self.phi_minus)
+
+    @property
+    def fidelity(self) -> float:
+        """Fidelity with respect to the reference Bell state."""
+        return self.phi_plus
+
+    @property
+    def error(self) -> float:
+        """Total error probability (1 - fidelity)."""
+        return 1.0 - self.phi_plus
+
+    # -- channels --------------------------------------------------------------
+
+    def depolarize(self, probability: float) -> "BellDiagonalState":
+        """Mix the pair with the maximally mixed state with weight ``probability``.
+
+        This models a completely depolarising event affecting the pair (for
+        example a noisy two-qubit gate acting on one of its halves together
+        with another qubit).
+        """
+        p = _validate_prob(probability)
+        mixed = 0.25 * p
+        return BellDiagonalState(
+            (1.0 - p) * self.phi_plus + mixed,
+            (1.0 - p) * self.psi_plus + mixed,
+            (1.0 - p) * self.psi_minus + mixed,
+            (1.0 - p) * self.phi_minus + mixed,
+        )
+
+    def local_depolarize(self, probability: float) -> "BellDiagonalState":
+        """Apply a single-qubit depolarising channel to one half of the pair.
+
+        With probability ``probability`` the affected qubit suffers a uniformly
+        random Pauli error (X, Y or Z each with probability p/3).
+        """
+        p = _validate_prob(probability)
+        a, b, c, d = self.coefficients
+        px = p / 3.0
+        stay = 1.0 - p
+        return BellDiagonalState(
+            stay * a + px * (b + c + d),
+            stay * b + px * (a + d + c),
+            stay * c + px * (d + a + b),
+            stay * d + px * (c + b + a),
+        )
+
+    def dephase(self, probability: float) -> "BellDiagonalState":
+        """Apply a single-qubit phase-flip (Z) channel to one half."""
+        p = _validate_prob(probability)
+        a, b, c, d = self.coefficients
+        return BellDiagonalState(
+            (1.0 - p) * a + p * d,
+            (1.0 - p) * b + p * c,
+            (1.0 - p) * c + p * b,
+            (1.0 - p) * d + p * a,
+        )
+
+    def bit_flip(self, probability: float) -> "BellDiagonalState":
+        """Apply a single-qubit bit-flip (X) channel to one half."""
+        p = _validate_prob(probability)
+        a, b, c, d = self.coefficients
+        return BellDiagonalState(
+            (1.0 - p) * a + p * b,
+            (1.0 - p) * b + p * a,
+            (1.0 - p) * c + p * d,
+            (1.0 - p) * d + p * c,
+        )
+
+    def movement_decay(self, per_cell_error: float, cells: float) -> "BellDiagonalState":
+        """Fidelity loss from ballistic movement, per the paper's Eq. 1.
+
+        Eq. 1 models each cell traversed as an independent chance of losing the
+        qubit's state: ``F_new = F_old * (1 - p_mv)^D``.  The lost weight is
+        spread evenly over the three error components (the worst-case,
+        unbiased-noise assumption used throughout Section 4).
+        """
+        p = _validate_prob(per_cell_error)
+        if cells < 0:
+            raise FidelityError(f"cells must be non-negative, got {cells}")
+        survive = (1.0 - p) ** cells
+        a, b, c, d = self.coefficients
+        lost = a * (1.0 - survive)
+        return BellDiagonalState(a * survive, b + lost / 3.0, c + lost / 3.0, d + lost / 3.0)
+
+    def twirl(self) -> "WernerState":
+        """Symmetrise into a Werner state of the same fidelity (BBPSSW twirl)."""
+        return WernerState(self.fidelity)
+
+    def mix(self, other: "BellDiagonalState", weight: float) -> "BellDiagonalState":
+        """Convex mixture ``(1 - weight) * self + weight * other``."""
+        w = _validate_prob(weight)
+        a = [(1.0 - w) * x + w * y for x, y in zip(self.coefficients, other.coefficients)]
+        return BellDiagonalState(*a)
+
+    def permute_errors(self, order: Tuple[int, int, int]) -> "BellDiagonalState":
+        """Permute the three error components (local Pauli rotations).
+
+        ``order`` gives, for each error slot ``(psi_plus, psi_minus, phi_minus)``,
+        the index (0, 1 or 2) of the old error component to place there.  The
+        fidelity component is unchanged.  DEJMPS uses such a rotation between
+        rounds to keep its quadratic convergence.
+        """
+        errs = (self.psi_plus, self.psi_minus, self.phi_minus)
+        if sorted(order) != [0, 1, 2]:
+            raise FidelityError(f"order must be a permutation of (0, 1, 2), got {order}")
+        new = (errs[order[0]], errs[order[1]], errs[order[2]])
+        return BellDiagonalState(self.phi_plus, new[0], new[1], new[2])
+
+    def sorted_errors(self) -> "BellDiagonalState":
+        """Return the state with error components sorted in descending order.
+
+        Placing the largest error component in the ``phi_minus`` slot maximises
+        the fidelity gain of the next DEJMPS round (the protocol's local
+        rotations are free to do so).
+        """
+        errs = sorted((self.psi_plus, self.psi_minus, self.phi_minus))
+        return BellDiagonalState(self.phi_plus, errs[0], errs[1], errs[2])
+
+    def __iter__(self):
+        return iter(self.coefficients)
+
+
+@dataclass(frozen=True)
+class WernerState:
+    """A Werner state, fully described by its fidelity."""
+
+    fidelity_value: float
+
+    def __post_init__(self) -> None:
+        validate_fidelity(self.fidelity_value, name="Werner fidelity")
+
+    @property
+    def fidelity(self) -> float:
+        return self.fidelity_value
+
+    @property
+    def error(self) -> float:
+        return 1.0 - self.fidelity_value
+
+    def to_bell_diagonal(self) -> BellDiagonalState:
+        """Expand into the equivalent Bell-diagonal coefficient vector."""
+        return BellDiagonalState.werner(self.fidelity_value)
+
+    def depolarize(self, probability: float) -> "WernerState":
+        """Mix with the maximally mixed state (stays Werner)."""
+        p = _validate_prob(probability)
+        return WernerState((1.0 - p) * self.fidelity_value + 0.25 * p)
+
+
+def _validate_prob(probability: float) -> float:
+    p = float(probability)
+    if not (0.0 <= p <= 1.0):
+        raise FidelityError(f"probability must be in [0, 1], got {p}")
+    return p

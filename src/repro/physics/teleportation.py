@@ -1,0 +1,152 @@
+"""Teleportation transport model (paper Section 4.4, Eqs. 3 and 5).
+
+Teleportation consumes a pre-distributed EPR pair to move a qubit's state
+without physically transporting the ion.  The fidelity of the teleported state
+depends on the fidelity of the state going in (``F_old``), the fidelity of the
+EPR pair used (``F_EPR``) and the error rates of the local operations:
+
+    F_new = 1/4 * (1 + 3 (1-p_1q)(1-p_2q) * (4(1-p_ms)^2 - 1)/3
+                       * (4 F_old - 1)(4 F_EPR - 1) / 9)            (Eq. 3)
+
+Latency (Eq. 5) is two one-qubit gates, one two-qubit gate, a measurement, and
+the classical transmission of two bits over the channel distance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import ConfigurationError
+from .fidelity import clamp_fidelity, validate_fidelity
+from .gates import NoiseModel
+from .parameters import IonTrapParameters
+from .states import BellDiagonalState
+
+
+def teleportation_fidelity(
+    fidelity_in: float,
+    epr_fidelity: float,
+    params: IonTrapParameters | None = None,
+) -> float:
+    """Fidelity of a state after one teleportation (Eq. 3)."""
+    params = params or IonTrapParameters.default()
+    f_old = validate_fidelity(fidelity_in, name="fidelity_in")
+    f_epr = validate_fidelity(epr_fidelity, name="epr_fidelity")
+    p1q = params.errors.one_qubit_gate
+    p2q = params.errors.two_qubit_gate
+    pms = params.errors.measure
+    gate_factor = (1.0 - p1q) * (1.0 - p2q)
+    measure_factor = (4.0 * (1.0 - pms) ** 2 - 1.0) / 3.0
+    werner_product = (4.0 * f_old - 1.0) * (4.0 * f_epr - 1.0) / 9.0
+    return clamp_fidelity(0.25 * (1.0 + 3.0 * gate_factor * measure_factor * werner_product))
+
+
+def teleportation_time(
+    distance_cells: float = 0.0,
+    params: IonTrapParameters | None = None,
+) -> float:
+    """Latency of one teleportation (Eq. 5), assuming the EPR pair is in place."""
+    params = params or IonTrapParameters.default()
+    if distance_cells < 0:
+        raise ConfigurationError(f"distance_cells must be non-negative, got {distance_cells}")
+    return params.times.teleport(distance_cells)
+
+
+def teleport_state(
+    state: BellDiagonalState,
+    epr_state: BellDiagonalState,
+    params: IonTrapParameters | None = None,
+) -> BellDiagonalState:
+    """Teleport a Bell-diagonal *pair* state through an EPR resource pair.
+
+    This is the state-level version of Eq. 3 used for chained teleportation of
+    EPR pairs: the pair being forwarded (``state``) has one half teleported
+    through the link pair (``epr_state``).  Pauli errors on the link pair
+    translate into Pauli errors on the forwarded half, so the error
+    coefficients combine through the group structure of the Bell basis; gate
+    and measurement imperfections add a small depolarising contribution.
+    """
+    params = params or IonTrapParameters.default()
+    noise = NoiseModel(params)
+    combined = _compose_bell_errors(state, epr_state)
+    return noise.teleport_operation_noise(combined)
+
+
+def _compose_bell_errors(a: BellDiagonalState, b: BellDiagonalState) -> BellDiagonalState:
+    """Compose Pauli error distributions of two Bell-diagonal states.
+
+    Teleporting one half of pair ``a`` through pair ``b`` applies, up to the
+    ideal correction, the Pauli error of ``b`` on top of the error of ``a``.
+    The Bell-basis labels form the group Z2 x Z2 under this composition:
+    index 0 = I, 1 = X, 2 = Y, 3 = Z with Y = X.Z.
+    """
+    pa = a.coefficients
+    pb = b.coefficients
+    # Composition table for (I, X, Y, Z) labels: result index of applying j after i.
+    table = (
+        (0, 1, 2, 3),
+        (1, 0, 3, 2),
+        (2, 3, 0, 1),
+        (3, 2, 1, 0),
+    )
+    out = [0.0, 0.0, 0.0, 0.0]
+    for i in range(4):
+        if pa[i] == 0.0:
+            continue
+        for j in range(4):
+            if pb[j] == 0.0:
+                continue
+            out[table[i][j]] += pa[i] * pb[j]
+    return BellDiagonalState.from_coefficients(out)
+
+
+def chained_teleportation_fidelity(
+    initial_fidelity: float,
+    hops: int,
+    link_fidelity: float,
+    params: IonTrapParameters | None = None,
+) -> float:
+    """Fidelity of an EPR pair after ``hops`` chained teleportations.
+
+    Each hop applies Eq. 3 with ``F_EPR = link_fidelity`` (the fidelity of the
+    virtual-wire pair spanning that hop).  This is the model behind Figure 9.
+    """
+    params = params or IonTrapParameters.default()
+    if hops < 0:
+        raise ConfigurationError(f"hops must be non-negative, got {hops}")
+    fidelity = validate_fidelity(initial_fidelity, name="initial_fidelity")
+    link = validate_fidelity(link_fidelity, name="link_fidelity")
+    for _ in range(hops):
+        fidelity = teleportation_fidelity(fidelity, link, params)
+    return fidelity
+
+
+def chained_teleportation_series(
+    initial_fidelity: float,
+    max_hops: int,
+    link_fidelity: float,
+    params: IonTrapParameters | None = None,
+) -> List[float]:
+    """Fidelity after 0..max_hops chained teleportations (Figure 9 series)."""
+    params = params or IonTrapParameters.default()
+    if max_hops < 0:
+        raise ConfigurationError(f"max_hops must be non-negative, got {max_hops}")
+    series = [validate_fidelity(initial_fidelity, name="initial_fidelity")]
+    fidelity = series[0]
+    for _ in range(max_hops):
+        fidelity = teleportation_fidelity(fidelity, link_fidelity, params)
+        series.append(fidelity)
+    return series
+
+
+def chained_teleport_state(
+    state: BellDiagonalState,
+    link_states: Iterable[BellDiagonalState],
+    params: IonTrapParameters | None = None,
+) -> BellDiagonalState:
+    """State-level chained teleportation through a sequence of link pairs."""
+    params = params or IonTrapParameters.default()
+    out = state
+    for link in link_states:
+        out = teleport_state(out, link, params)
+    return out

@@ -1,0 +1,70 @@
+"""Fault-tolerance threshold bookkeeping (paper Section 4.6).
+
+The threshold theorem for local fault-tolerant computation requires data-qubit
+fidelity to stay above ``1 - 7.5e-5``.  Because data qubits interact with the
+EPR pairs used to teleport them, the same bound is imposed on delivered EPR
+pairs.  This module centralises the checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import THRESHOLD_ERROR, THRESHOLD_FIDELITY
+from .fidelity import validate_fidelity
+from .parameters import IonTrapParameters
+from .states import BellDiagonalState
+
+
+@dataclass(frozen=True)
+class ThresholdCheck:
+    """Result of checking a fidelity against the fault-tolerance threshold."""
+
+    fidelity: float
+    threshold_fidelity: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.fidelity >= self.threshold_fidelity
+
+    @property
+    def margin(self) -> float:
+        """Positive margin means the fidelity exceeds the threshold."""
+        return self.fidelity - self.threshold_fidelity
+
+    @property
+    def error(self) -> float:
+        return 1.0 - self.fidelity
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.satisfied
+
+
+def check_fidelity(
+    fidelity: float, params: IonTrapParameters | None = None
+) -> ThresholdCheck:
+    """Check a bare fidelity value against the threshold."""
+    threshold = THRESHOLD_FIDELITY if params is None else params.threshold_fidelity
+    return ThresholdCheck(fidelity=validate_fidelity(fidelity), threshold_fidelity=threshold)
+
+
+def check_state(
+    state: BellDiagonalState, params: IonTrapParameters | None = None
+) -> ThresholdCheck:
+    """Check a Bell-diagonal state against the threshold."""
+    return check_fidelity(state.fidelity, params)
+
+
+def meets_threshold(fidelity: float, params: IonTrapParameters | None = None) -> bool:
+    """True when ``fidelity`` satisfies the data-qubit threshold."""
+    return check_fidelity(fidelity, params).satisfied
+
+
+__all__ = [
+    "THRESHOLD_ERROR",
+    "THRESHOLD_FIDELITY",
+    "ThresholdCheck",
+    "check_fidelity",
+    "check_state",
+    "meets_threshold",
+]

@@ -1,0 +1,40 @@
+"""Event-driven communication simulator (paper Section 5).
+
+The paper built a Java event-driven simulator to study how resource allocation
+(teleporters *t*, generators *g*, queue purifiers *p*) and contention affect
+the runtime of communication-heavy kernels.  This subpackage is the Python
+equivalent, with two fidelity levels:
+
+* **Flow mode** (:mod:`repro.sim.flow`) — every active logical communication
+  is a fluid flow whose rate is limited by its fair share of the teleporter,
+  generator and purifier bandwidth along its path.  This is the mode used to
+  regenerate Figure 16 on large grids.
+* **Detailed mode** (:mod:`repro.sim.channel_setup`) — individual EPR pairs
+  are generated, chained-teleported hop by hop and queue-purified as discrete
+  events.  It is exact but only practical for single channels or small grids;
+  the test-suite uses it to validate the flow model's throughput estimates.
+
+:class:`repro.sim.simulator.CommunicationSimulator` is the public entry point.
+"""
+
+from .engine import Event, SimulationEngine
+from .resources import ResourcePool, ServiceCenter
+from .machine import QuantumMachine
+from .results import ChannelRecord, OperationRecord, SimulationResult
+from .simulator import CommunicationSimulator
+from .scheduler import InstructionScheduler
+from .qpurifier import QueuePurifierModel
+
+__all__ = [
+    "ChannelRecord",
+    "CommunicationSimulator",
+    "Event",
+    "InstructionScheduler",
+    "OperationRecord",
+    "QuantumMachine",
+    "QueuePurifierModel",
+    "ResourcePool",
+    "ServiceCenter",
+    "SimulationEngine",
+    "SimulationResult",
+]

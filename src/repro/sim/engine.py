@@ -1,0 +1,155 @@
+"""Minimal discrete-event simulation kernel.
+
+A deliberately small, dependency-free engine: events are (time, priority,
+sequence) ordered callbacks on a binary heap.  Both the detailed per-pair
+simulator and the flow simulator drive their state machines through this
+kernel, so simulated time handling, determinism and stop conditions live in
+one place.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by time, then priority (lower first), then insertion sequence,
+    which makes simulations fully deterministic.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap but is skipped)."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Heap-based discrete-event loop with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._sequence = 0
+        self._processed = 0
+        self._running = False
+
+    # -- clock -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._heap)
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time=time, priority=priority, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution --------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event heap drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek(self) -> Optional[Event]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def drain(self) -> None:
+        """Discard all pending events (used when aborting a simulation)."""
+        self._heap.clear()
+
+
+class Timer:
+    """Convenience wrapper: a cancellable one-shot timer on an engine."""
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+        self._event: Optional[Event] = None
+
+    def start(self, delay: float, callback: Callable[[], None]) -> None:
+        """(Re)arm the timer; any previously armed timer is cancelled."""
+        self.cancel()
+        self._event = self._engine.schedule(delay, callback)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled

@@ -1,0 +1,292 @@
+"""Flow-based (fluid) transport backend for large simulations.
+
+Each active logical communication is modelled as a *flow* that must push a
+fixed amount of work through every resource along its path:
+
+* one teleportation (``t_teleport`` of teleporter time) per transiting EPR
+  pair at every intermediate T' node, charged to that node's X or Y teleporter
+  set depending on the outgoing direction (the Figure 6 router split);
+* one pair generation (``t_gen`` of generator time) per transiting pair on
+  every virtual-wire link it crosses;
+* ``2**rounds - 1`` purification rounds per good pair at each endpoint's
+  queue purifiers;
+* the data-qubit teleportations at the endpoints once the channel is up.
+
+Concurrent flows share each resource max-min fairly (progressive filling), so
+when many channels cross the same T' node — the Home Base workload — the
+teleporters become the bottleneck, and when channels are short and disjoint —
+the Mobile Qubit workload — the endpoint purifiers do.  That is precisely the
+contention effect Figure 16 sweeps resource allocation to expose.
+
+Every flow also has a latency *floor*: the channel-setup pipeline latency plus
+the final data teleportation, which bounds how fast a communication can finish
+even with unlimited bandwidth (the paper's t = g = p = 1024 normalisation
+point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..network.geometry import Coordinate
+from .control import PlannedCommunication
+from .engine import Event, SimulationEngine
+from .machine import QuantumMachine
+from .results import ChannelRecord
+
+#: Resource identifiers are (kind, *coordinates) tuples; kinds used below.
+KIND_TELEPORTER_X = "teleporter_x"
+KIND_TELEPORTER_Y = "teleporter_y"
+KIND_GENERATOR = "generator"
+KIND_PURIFIER = "purifier"
+
+ResourceKey = Tuple
+
+
+@dataclass
+class ChannelFlow:
+    """One in-flight logical communication in the fluid model."""
+
+    flow_id: int
+    planned: PlannedCommunication
+    demands: Dict[ResourceKey, float]
+    floor_us: float
+    pairs_transited: float
+    start_us: float
+    done: Callable[["ChannelFlow"], None]
+    remaining: float = 1.0
+    rate: float = 0.0
+    completion_event: Optional[Event] = None
+    fluid_finished: bool = False
+
+    @property
+    def hops(self) -> int:
+        return self.planned.hops
+
+
+class FlowTransport:
+    """Shares machine bandwidth among concurrent channel flows."""
+
+    def __init__(self, engine: SimulationEngine, machine: QuantumMachine) -> None:
+        self.engine = engine
+        self.machine = machine
+        self._flows: Dict[int, ChannelFlow] = {}
+        self._next_id = 0
+        self._last_update = 0.0
+        self._capacity_cache: Dict[ResourceKey, float] = {}
+        self._usage_integral: Dict[str, float] = {}
+        self._records: List[ChannelRecord] = []
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def records(self) -> List[ChannelRecord]:
+        return self._records
+
+    def start(
+        self,
+        planned: PlannedCommunication,
+        done: Callable[[], None],
+    ) -> None:
+        """Begin servicing a planned communication; ``done`` fires at completion."""
+        if planned.plan is None:
+            raise SimulationError("local communications do not need the transport backend")
+        self._advance_time()
+        flow = ChannelFlow(
+            flow_id=self._next_id,
+            planned=planned,
+            demands=self._build_demands(planned),
+            floor_us=self._floor_us(planned),
+            pairs_transited=self.machine.pairs_per_logical_communication(planned.hops),
+            start_us=self.engine.now,
+            done=lambda f, cb=done: cb(),
+        )
+        self._next_id += 1
+        self._flows[flow.flow_id] = flow
+        self._reallocate()
+
+    def utilisation_report(self, elapsed_us: float) -> Dict[str, float]:
+        """Average utilisation per resource *class* over ``elapsed_us``."""
+        if elapsed_us <= 0:
+            return {}
+        totals: Dict[str, float] = {}
+        capacities: Dict[str, float] = {}
+        for key, capacity in self._capacity_cache.items():
+            kind = key[0]
+            capacities[kind] = capacities.get(kind, 0.0) + capacity
+        for kind, usage in self._usage_integral.items():
+            cap = capacities.get(kind, 0.0)
+            if cap > 0:
+                totals[kind] = min(usage / (cap * elapsed_us), 1.0)
+        return totals
+
+    # -- demand construction -----------------------------------------------------------
+
+    def _build_demands(self, planned: PlannedCommunication) -> Dict[ResourceKey, float]:
+        plan = planned.plan
+        assert plan is not None
+        machine = self.machine
+        times = machine.params.times
+        pairs = machine.pairs_per_logical_communication(plan.hops)
+        good_pairs = machine.good_pairs_per_logical_communication()
+        rounds_work = machine.purifier_rounds_per_good_pair(plan.hops)
+        demands: Dict[ResourceKey, float] = {}
+
+        def _add(key: ResourceKey, work: float) -> None:
+            if work > 0:
+                demands[key] = demands.get(key, 0.0) + work
+
+        path = plan.path
+        # Chained-teleportation swaps at every intermediate node.
+        swap_time = times.teleport(0.0)
+        for previous, node, nxt in zip(path.nodes, path.nodes[1:], path.nodes[2:]):
+            kind = KIND_TELEPORTER_X if nxt.y == node.y else KIND_TELEPORTER_Y
+            _add((kind, node.as_tuple()), pairs * swap_time)
+        # Virtual-wire pair generation on every traversed link.
+        for link in path.links:
+            _add((KIND_GENERATOR, link.a.as_tuple(), link.b.as_tuple()), pairs * times.generate)
+        # Endpoint purification and data teleports.
+        purify_time = times.purify_round(0.0)
+        data_teleport = good_pairs * swap_time
+        for endpoint in (path.source, path.destination):
+            _add((KIND_PURIFIER, endpoint.as_tuple()), good_pairs * rounds_work * purify_time)
+            kind = KIND_TELEPORTER_X
+            _add((kind, endpoint.as_tuple()), data_teleport)
+        return demands
+
+    def _floor_us(self, planned: PlannedCommunication) -> float:
+        plan = planned.plan
+        assert plan is not None
+        return self.machine.channel_setup_floor_us(plan.hops) + self.machine.data_teleport_us(
+            plan.hops
+        )
+
+    def _capacity(self, key: ResourceKey) -> float:
+        if key not in self._capacity_cache:
+            kind = key[0]
+            machine = self.machine
+            if kind in (KIND_TELEPORTER_X, KIND_TELEPORTER_Y):
+                value = machine.teleporter_bandwidth_per_direction()
+            elif kind == KIND_GENERATOR:
+                value = machine.generator_bandwidth_per_link()
+            elif kind == KIND_PURIFIER:
+                value = machine.purifier_bandwidth_per_node()
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown resource kind {kind!r}")
+            self._capacity_cache[key] = value
+        return self._capacity_cache[key]
+
+    # -- fluid dynamics ---------------------------------------------------------------------
+
+    def _advance_time(self) -> None:
+        """Account for progress made since the last rate change."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(flow.remaining - flow.rate * elapsed, 0.0)
+                for key, work in flow.demands.items():
+                    kind = key[0]
+                    self._usage_integral[kind] = (
+                        self._usage_integral.get(kind, 0.0) + flow.rate * work * elapsed
+                    )
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and reschedule completion events."""
+        rates = self._max_min_rates(list(self._flows.values()))
+        for flow in self._flows.values():
+            flow.rate = rates[flow.flow_id]
+            if flow.completion_event is not None:
+                flow.completion_event.cancel()
+                flow.completion_event = None
+            self._schedule_completion(flow)
+
+    def _max_min_rates(self, flows: List[ChannelFlow]) -> Dict[int, float]:
+        rates: Dict[int, float] = {flow.flow_id: 0.0 for flow in flows}
+        if not flows:
+            return rates
+        remaining_cap: Dict[ResourceKey, float] = {}
+        for flow in flows:
+            for key in flow.demands:
+                remaining_cap.setdefault(key, self._capacity(key))
+        unfrozen = {flow.flow_id: flow for flow in flows}
+        # Progressive filling: all unfrozen rates rise together until a
+        # resource saturates; its users freeze, and the rest keep rising.
+        for _ in range(len(flows) + 1):
+            if not unfrozen:
+                break
+            best_delta = float("inf")
+            for key, cap_left in remaining_cap.items():
+                denom = sum(
+                    flow.demands.get(key, 0.0) for flow in unfrozen.values()
+                )
+                if denom <= 0.0:
+                    continue
+                best_delta = min(best_delta, cap_left / denom)
+            if best_delta == float("inf"):
+                # No shared resource constrains the remaining flows; give them
+                # an effectively unconstrained rate (their floor dominates).
+                for flow_id in unfrozen:
+                    rates[flow_id] += 1.0
+                break
+            for flow_id in unfrozen:
+                rates[flow_id] += best_delta
+            for key in remaining_cap:
+                denom = sum(flow.demands.get(key, 0.0) for flow in unfrozen.values())
+                remaining_cap[key] -= best_delta * denom
+            saturated = {key for key, cap in remaining_cap.items() if cap <= 1e-12}
+            newly_frozen = [
+                flow_id
+                for flow_id, flow in unfrozen.items()
+                if any(key in saturated for key in flow.demands)
+            ]
+            if not newly_frozen:
+                break
+            for flow_id in newly_frozen:
+                del unfrozen[flow_id]
+        return rates
+
+    def _schedule_completion(self, flow: ChannelFlow) -> None:
+        now = self.engine.now
+        if flow.remaining <= 1e-12:
+            finish = now
+        elif flow.rate <= 0.0:
+            return  # Stalled; will be rescheduled at the next reallocation.
+        else:
+            finish = now + flow.remaining / flow.rate
+        finish = max(finish, flow.start_us + flow.floor_us)
+        flow.completion_event = self.engine.schedule_at(
+            finish, lambda f=flow: self._complete(f), priority=1
+        )
+
+    def _complete(self, flow: ChannelFlow) -> None:
+        if flow.flow_id not in self._flows:
+            return
+        self._advance_time()
+        if flow.remaining > 1e-9:
+            # A reallocation slowed the flow after this event was scheduled;
+            # let the rescheduled event handle it.
+            return
+        del self._flows[flow.flow_id]
+        request = flow.planned.request
+        self._records.append(
+            ChannelRecord(
+                source=request.source.as_tuple(),
+                destination=request.dest.as_tuple(),
+                hops=flow.hops,
+                start_us=flow.start_us,
+                end_us=self.engine.now,
+                pairs_transited=flow.pairs_transited,
+                purpose=request.purpose,
+                qubit=request.qubit,
+            )
+        )
+        flow.done(flow)
+        self._reallocate()

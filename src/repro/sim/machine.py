@@ -1,0 +1,164 @@
+"""The simulated machine: topology + layout + resource allocation + physics.
+
+:class:`QuantumMachine` bundles everything the simulator needs to know about
+the hardware: the mesh of T' nodes, the (t, g, p) allocation at each node, the
+logical-qubit layout (Home Base or Mobile Qubit), the ion-trap parameters and
+the purification policy.  It also exposes the per-resource *bandwidths* the
+flow model shares between concurrent channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.logical import LogicalQubitEncoding, STEANE_LEVEL_2
+from ..core.placement import PurificationPlacement, endpoint_only
+from ..core.planner import ChannelPlanner
+from ..errors import ConfigurationError
+from ..network.layout import MachineLayout, build_layout
+from ..network.nodes import ResourceAllocation
+from ..network.routing import DimensionOrder
+from ..network.topology import MeshTopology
+from ..physics.parameters import IonTrapParameters
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Declarative description of a machine (useful for sweeps and reports)."""
+
+    width: int
+    height: int
+    allocation: ResourceAllocation
+    layout_name: str
+    num_qubits: int
+    logical_gate_us: float
+    protocol: str
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.width}x{self.height} {self.layout_name} "
+            f"{self.allocation.label}"
+        )
+
+
+class QuantumMachine:
+    """A mesh-connected ion-trap machine ready to be simulated."""
+
+    def __init__(
+        self,
+        width: int,
+        height: Optional[int] = None,
+        *,
+        allocation: Optional[ResourceAllocation] = None,
+        layout: str = "home_base",
+        num_qubits: Optional[int] = None,
+        params: Optional[IonTrapParameters] = None,
+        placement: Optional[PurificationPlacement] = None,
+        protocol: str = "dejmps",
+        encoding: LogicalQubitEncoding = STEANE_LEVEL_2,
+        logical_gate_us: float = 300.0,
+        routing_order: DimensionOrder = DimensionOrder.XY,
+    ) -> None:
+        if logical_gate_us < 0:
+            raise ConfigurationError(f"logical_gate_us must be non-negative, got {logical_gate_us}")
+        height = height or width
+        self.allocation = allocation or ResourceAllocation()
+        self.params = params or IonTrapParameters.default()
+        self.placement = placement or endpoint_only()
+        self.encoding = encoding
+        self.protocol = protocol
+        self.logical_gate_us = logical_gate_us
+        self.topology = MeshTopology(width, height, self.allocation, cells_per_hop=self.params.cells_per_hop)
+        self.num_qubits = num_qubits or (width * height)
+        self.layout: MachineLayout = build_layout(layout, self.topology, self.num_qubits)
+        self.layout_name = self.layout.name
+        self.planner = ChannelPlanner(
+            self.topology,
+            self.params,
+            placement=self.placement,
+            protocol=protocol,
+            encoding=encoding,
+            order=routing_order,
+        )
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def paper_machine(
+        cls,
+        side: int = 16,
+        *,
+        allocation: Optional[ResourceAllocation] = None,
+        layout: str = "home_base",
+        **kwargs,
+    ) -> "QuantumMachine":
+        """The paper's simulated machine: a square grid of logical qubits."""
+        return cls(side, side, allocation=allocation, layout=layout, **kwargs)
+
+    # -- descriptions -----------------------------------------------------------------
+
+    @property
+    def config(self) -> MachineConfig:
+        return MachineConfig(
+            width=self.topology.width,
+            height=self.topology.height,
+            allocation=self.allocation,
+            layout_name=self.layout_name,
+            num_qubits=self.num_qubits,
+            logical_gate_us=self.logical_gate_us,
+            protocol=self.protocol,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"QuantumMachine {self.topology.width}x{self.topology.height} "
+            f"({self.num_qubits} logical qubits, {self.layout_name} layout, "
+            f"{self.allocation.label}, {self.protocol.upper()})"
+        )
+
+    # -- flow-model bandwidths ------------------------------------------------------------
+    #
+    # Bandwidths are expressed in "servers", i.e. how many operations of the
+    # corresponding kind can be in service simultaneously; dividing work
+    # (server-microseconds) by bandwidth gives time.
+
+    def teleporter_bandwidth_per_direction(self) -> float:
+        """Teleporters available to each dimension set of a T' node."""
+        return max(self.allocation.teleporters_per_node / 2.0, 0.5)
+
+    def generator_bandwidth_per_link(self) -> float:
+        """Generators available on each virtual-wire link."""
+        return float(self.allocation.generators_per_node)
+
+    def purifier_bandwidth_per_node(self) -> float:
+        """Queue purifiers available at each endpoint P node."""
+        return float(self.allocation.purifiers_per_node)
+
+    # -- per-communication work ----------------------------------------------------------
+
+    def pairs_per_logical_communication(self, hops: int) -> float:
+        """Raw pairs that must transit a channel of ``hops`` per logical qubit moved."""
+        budget = self.planner.budget_for_hops(hops)
+        return budget.pairs_teleported * self.encoding.physical_qubits
+
+    def good_pairs_per_logical_communication(self) -> int:
+        """Above-threshold pairs needed at the endpoints per logical qubit moved."""
+        return self.encoding.physical_qubits
+
+    def purifier_rounds_per_good_pair(self, hops: int) -> float:
+        """Purification rounds executed at an endpoint per good pair produced."""
+        budget = self.planner.budget_for_hops(hops)
+        rounds = budget.endpoint_rounds
+        return float(2 ** rounds - 1) if rounds > 0 else 0.0
+
+    def channel_setup_floor_us(self, hops: int) -> float:
+        """Distance-dependent latency floor of a channel (pipeline depth)."""
+        budget = self.planner.budget_for_hops(hops)
+        return budget.setup_latency_us
+
+    def data_teleport_us(self, hops: int) -> float:
+        """Latency of teleporting the data qubits once the channel is up."""
+        distance_cells = hops * self.params.cells_per_hop
+        return self.params.times.teleport(distance_cells)

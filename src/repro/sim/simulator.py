@@ -1,0 +1,143 @@
+"""Top-level communication simulator (paper Section 5).
+
+:class:`CommunicationSimulator` runs an instruction stream on a
+:class:`~repro.sim.machine.QuantumMachine`: the scheduler issues operations as
+their dependencies resolve, the control unit translates each operation into
+planned communications via the machine's layout, and the flow transport
+backend services them under contention.  The result is a
+:class:`~repro.sim.results.SimulationResult` whose makespan is the paper's
+"runtime" metric (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..workloads.instructions import InstructionStream, TwoQubitOp
+from .control import ControlUnit, PlannedCommunication
+from .engine import SimulationEngine
+from .flow import FlowTransport
+from .machine import QuantumMachine
+from .results import OperationRecord, SimulationResult
+from .scheduler import InstructionScheduler
+
+
+@dataclass
+class _OpState:
+    """Progress of one in-flight operation."""
+
+    op: TwoQubitOp
+    issue_us: float
+    communications: List[PlannedCommunication]
+    next_index: int = 0
+    gate_done: bool = False
+    total_hops: int = 0
+    channel_count: int = 0
+
+
+class CommunicationSimulator:
+    """Runs instruction streams on a quantum machine and reports runtime."""
+
+    def __init__(self, machine: QuantumMachine) -> None:
+        self.machine = machine
+
+    def run(
+        self,
+        stream: InstructionStream,
+        *,
+        max_events: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate ``stream`` to completion and return the result."""
+        if stream.num_qubits > self.machine.num_qubits:
+            raise SimulationError(
+                f"workload uses {stream.num_qubits} logical qubits but the machine "
+                f"has only {self.machine.num_qubits}"
+            )
+        engine = SimulationEngine()
+        transport = FlowTransport(engine, self.machine)
+        control = ControlUnit(self.machine)
+        control.reset()
+        scheduler = InstructionScheduler(stream)
+        records: List[OperationRecord] = []
+        states: Dict[int, _OpState] = {}
+
+        def issue_ready() -> None:
+            for op in scheduler.ready_operations():
+                scheduler.mark_issued(op.index)
+                state = _OpState(
+                    op=op,
+                    issue_us=engine.now,
+                    communications=control.plan_operation(op),
+                )
+                states[op.index] = state
+                advance(state)
+
+        def advance(state: _OpState) -> None:
+            """Run the operation's phase machine: comms, gate, remaining comms."""
+            if state.next_index < len(state.communications):
+                planned = state.communications[state.next_index]
+                state.next_index += 1
+                if planned.is_local:
+                    advance(state)
+                    return
+                control.issue_messages(planned)
+                state.total_hops += planned.hops
+                state.channel_count += 1
+                transport.start(planned, lambda s=state: after_communication(s))
+                return
+            if not state.gate_done:
+                state.gate_done = True
+                engine.schedule(self.machine.logical_gate_us, lambda s=state: complete(s))
+                return
+            complete(state)
+
+        def after_communication(state: _OpState) -> None:
+            # The logical gate executes after the first communication brings
+            # the operands together; any remaining communications (return
+            # trips) happen after the gate.
+            if not state.gate_done and state.next_index >= 1:
+                state.gate_done = True
+                engine.schedule(self.machine.logical_gate_us, lambda s=state: advance(s))
+                return
+            advance(state)
+
+        def complete(state: _OpState) -> None:
+            records.append(
+                OperationRecord(
+                    index=state.op.index,
+                    qubit_a=state.op.qubit_a,
+                    qubit_b=state.op.qubit_b,
+                    issue_us=state.issue_us,
+                    complete_us=engine.now,
+                    channel_count=state.channel_count,
+                    total_hops=state.total_hops,
+                )
+            )
+            del states[state.op.index]
+            scheduler.mark_completed(state.op.index)
+            issue_ready()
+
+        issue_ready()
+        engine.run(max_events=max_events)
+        if not scheduler.finished:
+            raise SimulationError(
+                f"simulation ended with {scheduler.completed_count}/"
+                f"{scheduler.total_operations} operations completed"
+            )
+        makespan = engine.now
+        return SimulationResult(
+            workload_name=stream.name,
+            machine_description=self.machine.describe(),
+            makespan_us=makespan,
+            operations=records,
+            channels=transport.records,
+            resource_utilisation=transport.utilisation_report(makespan),
+            metadata={
+                "classical_messages": control.messages_issued,
+                "logical_gate_us": self.machine.logical_gate_us,
+                "allocation": self.machine.allocation.label,
+                "layout": self.machine.layout_name,
+            },
+        )

@@ -1,0 +1,170 @@
+"""Instruction streams of two-logical-qubit operations.
+
+A quantum program, as seen by the communication infrastructure, is a sequence
+of two-logical-qubit operations (one-qubit gates never leave a functional unit
+and are invisible to the network).  The scheduler executes operations as early
+as possible while preserving *program order per logical qubit*: an operation
+may start once every earlier operation touching either of its operands has
+completed.  That dependency rule reproduces exactly the QFT wavefront schedule
+listed in the paper (1-2, 1-3, (1-4, 2-3), (1-5, 2-4), ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class TwoQubitOp:
+    """One two-logical-qubit operation in program order."""
+
+    index: int
+    qubit_a: int
+    qubit_b: int
+
+    def __post_init__(self) -> None:
+        if self.qubit_a == self.qubit_b:
+            raise SchedulingError(
+                f"operation {self.index} touches qubit {self.qubit_a} twice"
+            )
+        if self.qubit_a < 1 or self.qubit_b < 1:
+            raise SchedulingError("logical qubit indices are 1-based and must be >= 1")
+
+    @property
+    def qubits(self) -> Tuple[int, int]:
+        return (self.qubit_a, self.qubit_b)
+
+    def touches(self, qubit: int) -> bool:
+        return qubit == self.qubit_a or qubit == self.qubit_b
+
+
+@dataclass
+class InstructionStream:
+    """An ordered list of two-qubit operations over ``num_qubits`` logical qubits."""
+
+    name: str
+    num_qubits: int
+    operations: List[TwoQubitOp] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 2:
+            raise SchedulingError(f"num_qubits must be >= 2, got {self.num_qubits}")
+        for op in self.operations:
+            self._validate_op(op)
+
+    def _validate_op(self, op: TwoQubitOp) -> None:
+        for qubit in op.qubits:
+            if qubit > self.num_qubits:
+                raise SchedulingError(
+                    f"operation {op.index} touches qubit {qubit} but the stream "
+                    f"has only {self.num_qubits} logical qubits"
+                )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls, name: str, num_qubits: int, pairs: Sequence[Tuple[int, int]]
+    ) -> "InstructionStream":
+        """Build a stream from (qubit_a, qubit_b) tuples in program order."""
+        ops = [TwoQubitOp(i, a, b) for i, (a, b) in enumerate(pairs)]
+        return cls(name=name, num_qubits=num_qubits, operations=ops)
+
+    def extended(self, other: "InstructionStream", name: str | None = None) -> "InstructionStream":
+        """Concatenate another stream after this one (re-indexing its operations)."""
+        num_qubits = max(self.num_qubits, other.num_qubits)
+        pairs = [op.qubits for op in self.operations] + [op.qubits for op in other.operations]
+        return InstructionStream.from_pairs(
+            name or f"{self.name}+{other.name}", num_qubits, pairs
+        )
+
+    # -- views --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[TwoQubitOp]:
+        return iter(self.operations)
+
+    def __getitem__(self, index: int) -> TwoQubitOp:
+        return self.operations[index]
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.operations)
+
+    def qubits_used(self) -> Set[int]:
+        """The set of logical qubits that appear in at least one operation."""
+        used: Set[int] = set()
+        for op in self.operations:
+            used.update(op.qubits)
+        return used
+
+    # -- dependency analysis -----------------------------------------------------------
+
+    def dependencies(self) -> Dict[int, Set[int]]:
+        """Map operation index -> indices it depends on (per-qubit program order)."""
+        last_touch: Dict[int, int] = {}
+        deps: Dict[int, Set[int]] = {}
+        for op in self.operations:
+            deps[op.index] = set()
+            for qubit in op.qubits:
+                if qubit in last_touch:
+                    deps[op.index].add(last_touch[qubit])
+                last_touch[qubit] = op.index
+        return deps
+
+    def dependents(self) -> Dict[int, Set[int]]:
+        """Map operation index -> indices that depend on it."""
+        result: Dict[int, Set[int]] = {op.index: set() for op in self.operations}
+        for op_index, deps in self.dependencies().items():
+            for dep in deps:
+                result[dep].add(op_index)
+        return result
+
+    def wavefronts(self) -> List[List[TwoQubitOp]]:
+        """ASAP schedule: groups of operations that may execute simultaneously.
+
+        Wavefront ``k`` contains the operations whose longest dependency chain
+        has length ``k``.  For the QFT stream this reproduces the paper's
+        listing: [1-2], [1-3], [1-4, 2-3], [1-5, 2-4], [1-6, 2-5, 3-4], ...
+        """
+        deps = self.dependencies()
+        level: Dict[int, int] = {}
+        fronts: List[List[TwoQubitOp]] = []
+        for op in self.operations:
+            op_level = 0
+            for dep in deps[op.index]:
+                op_level = max(op_level, level[dep] + 1)
+            level[op.index] = op_level
+            while len(fronts) <= op_level:
+                fronts.append([])
+            fronts[op_level].append(op)
+        return fronts
+
+    def critical_path_length(self) -> int:
+        """Length (in operations) of the longest dependency chain."""
+        return len(self.wavefronts())
+
+    def max_parallelism(self) -> int:
+        """Largest number of operations in any wavefront."""
+        fronts = self.wavefronts()
+        return max((len(front) for front in fronts), default=0)
+
+    def communication_matrix(self) -> Dict[Tuple[int, int], int]:
+        """How many times each unordered qubit pair communicates."""
+        matrix: Dict[Tuple[int, int], int] = {}
+        for op in self.operations:
+            key = tuple(sorted(op.qubits))
+            matrix[key] = matrix.get(key, 0) + 1
+        return matrix
+
+    def describe(self) -> str:
+        return (
+            f"InstructionStream {self.name!r}: {self.operation_count} ops on "
+            f"{self.num_qubits} logical qubits, critical path "
+            f"{self.critical_path_length()}, max parallelism {self.max_parallelism()}"
+        )

@@ -1,0 +1,47 @@
+"""Modular Exponentiation communication pattern (paper Section 5.2).
+
+ME alternates *squaring* steps, which require all-to-all communication within
+one register, and *multiplication* steps, which are bipartite between the two
+registers.  The number of alternations is configurable; the paper treats ME as
+a mix of its two benchmark patterns, which is exactly what this generator
+produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import SchedulingError
+from .instructions import InstructionStream
+from .modmult import bipartite_pairs
+from .qft import qft_pairs
+
+
+def modular_exponentiation_stream(
+    num_qubits: int, *, steps: int = 2, split: float = 0.5
+) -> InstructionStream:
+    """ME stream: ``steps`` alternations of squaring and multiplication phases.
+
+    The register is split into two halves; squaring is all-to-all within the
+    first half, multiplication is bipartite between the halves.
+    """
+    if num_qubits < 4:
+        raise SchedulingError(f"ME needs at least 4 logical qubits, got {num_qubits}")
+    if steps < 1:
+        raise SchedulingError(f"steps must be >= 1, got {steps}")
+    size_a = max(2, min(num_qubits - 1, round(split * num_qubits)))
+    set_a = list(range(1, size_a + 1))
+    set_b = list(range(size_a + 1, num_qubits + 1))
+    if not set_b:
+        raise SchedulingError("the multiplication register is empty; reduce split")
+
+    pairs: List[Tuple[int, int]] = []
+    # All-to-all pairs within register A, relabelled to A's qubit numbers.
+    squaring = [(set_a[i - 1], set_a[j - 1]) for i, j in qft_pairs(len(set_a))]
+    multiplication = bipartite_pairs(set_a, set_b)
+    for _ in range(steps):
+        pairs.extend(squaring)
+        pairs.extend(multiplication)
+    return InstructionStream.from_pairs(
+        name=f"modexp_{num_qubits}_x{steps}", num_qubits=num_qubits, pairs=pairs
+    )

@@ -1,0 +1,52 @@
+"""Modular Multiplication communication pattern (paper Section 5.2).
+
+MM has a bipartite pattern: every logical qubit of one register communicates
+with every logical qubit of the other register.  We interleave the pairs so
+that consecutive operations touch different qubits, which maximises the
+parallelism available to the scheduler (mirroring how the arithmetic circuit
+overlaps independent partial products).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import SchedulingError
+from .instructions import InstructionStream
+
+
+def bipartite_pairs(
+    set_a: Sequence[int], set_b: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """All cross pairs between two disjoint qubit sets, diagonally interleaved."""
+    if not set_a or not set_b:
+        raise SchedulingError("both qubit sets must be non-empty")
+    if set(set_a) & set(set_b):
+        raise SchedulingError("the two qubit sets must be disjoint")
+    pairs: List[Tuple[int, int]] = []
+    len_a, len_b = len(set_a), len(set_b)
+    # Diagonal (round-robin) ordering: on step s, pair a[i] with b[(i + s) % len_b].
+    for step in range(len_b):
+        for i in range(len_a):
+            pairs.append((set_a[i], set_b[(i + step) % len_b]))
+    return pairs
+
+
+def modular_multiplication_stream(
+    num_qubits: int, *, split: float = 0.5
+) -> InstructionStream:
+    """Bipartite MM stream over ``num_qubits`` logical qubits.
+
+    The first ``round(split * num_qubits)`` qubits form one register and the
+    rest the other.
+    """
+    if num_qubits < 2:
+        raise SchedulingError(f"MM needs at least 2 logical qubits, got {num_qubits}")
+    size_a = max(1, min(num_qubits - 1, round(split * num_qubits)))
+    set_a = list(range(1, size_a + 1))
+    set_b = list(range(size_a + 1, num_qubits + 1))
+    return InstructionStream.from_pairs(
+        name=f"modmult_{num_qubits}",
+        num_qubits=num_qubits,
+        pairs=bipartite_pairs(set_a, set_b),
+    )

@@ -1,0 +1,43 @@
+"""Quantum Fourier Transform communication pattern (paper Section 5.2).
+
+Given ``n`` logical qubits labelled 1..n, every logical qubit interacts once
+with every other, in numerical order: qubit 1 with 2, 3, ..., n; qubit 2 with
+3, 4, ..., n; and so on.  With the per-qubit program-order dependency rule the
+earliest-start schedule is the wavefront listing in the paper:
+1-2, 1-3, (1-4, 2-3), (1-5, 2-4), (1-6, 2-5, 3-4), ...
+
+The stream below lists operations grouped by wavefront (pairs with equal
+``i + j`` together), which is also a valid sequential program order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import SchedulingError
+from .instructions import InstructionStream
+
+
+def qft_pairs(num_qubits: int) -> List[Tuple[int, int]]:
+    """All (i, j) interaction pairs of an ``num_qubits``-qubit QFT, in program order."""
+    if num_qubits < 2:
+        raise SchedulingError(f"QFT needs at least 2 logical qubits, got {num_qubits}")
+    pairs = [(i, j) for i in range(1, num_qubits + 1) for j in range(i + 1, num_qubits + 1)]
+    # Order by wavefront (i + j), then by the lower qubit index, which matches
+    # the paper's listing and keeps the per-qubit order i < j increasing.
+    pairs.sort(key=lambda pair: (pair[0] + pair[1], pair[0]))
+    return pairs
+
+
+def qft_stream(num_qubits: int) -> InstructionStream:
+    """The all-to-all QFT instruction stream on ``num_qubits`` logical qubits."""
+    return InstructionStream.from_pairs(
+        name=f"qft_{num_qubits}", num_qubits=num_qubits, pairs=qft_pairs(num_qubits)
+    )
+
+
+def qft_operation_count(num_qubits: int) -> int:
+    """Number of two-qubit operations in an ``num_qubits``-qubit QFT."""
+    if num_qubits < 2:
+        raise SchedulingError(f"QFT needs at least 2 logical qubits, got {num_qubits}")
+    return num_qubits * (num_qubits - 1) // 2

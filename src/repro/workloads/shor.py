@@ -1,0 +1,42 @@
+"""Shor's factorisation algorithm kernels (paper Section 5.2).
+
+Shor's algorithm, as seen by the interconnect, is three communication
+kernels: a QFT over one register, Modular Exponentiation over the other, and
+Modular Multiplication between the two.  The paper concentrates on the QFT
+(all-to-all) pattern because it recurs in many algorithms; this module exposes
+the kernels both individually and composed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import SchedulingError
+from .instructions import InstructionStream
+from .modexp import modular_exponentiation_stream
+from .modmult import modular_multiplication_stream
+from .qft import qft_stream
+
+
+def shor_kernel_streams(num_qubits: int, *, modexp_steps: int = 1) -> Dict[str, InstructionStream]:
+    """The three Shor kernels as separate streams over ``num_qubits`` qubits."""
+    if num_qubits < 4:
+        raise SchedulingError(f"Shor kernels need at least 4 logical qubits, got {num_qubits}")
+    return {
+        "qft": qft_stream(num_qubits),
+        "modexp": modular_exponentiation_stream(num_qubits, steps=modexp_steps),
+        "modmult": modular_multiplication_stream(num_qubits),
+    }
+
+
+def shor_stream(num_qubits: int, *, modexp_steps: int = 1) -> InstructionStream:
+    """A single composed stream: ME, then MM, then the QFT.
+
+    This mirrors the structure of one iteration of the quantum part of Shor's
+    algorithm: modular exponentiation builds the periodic state, the results
+    registers interact, and the QFT extracts the period.
+    """
+    kernels = shor_kernel_streams(num_qubits, modexp_steps=modexp_steps)
+    composed = kernels["modexp"].extended(kernels["modmult"])
+    composed = composed.extended(kernels["qft"], name=f"shor_{num_qubits}")
+    return composed

@@ -1,0 +1,77 @@
+"""Synthetic traffic patterns for ablations and stress tests.
+
+These are not from the paper's evaluation, but they are the standard patterns
+used to characterise classical interconnects (uniform random, permutation,
+nearest neighbour) and are useful for exercising the simulator beyond the QFT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..errors import SchedulingError
+from .instructions import InstructionStream
+from .qft import qft_pairs
+
+
+def all_to_all_stream(num_qubits: int) -> InstructionStream:
+    """Every unordered pair exactly once (same pair set as the QFT)."""
+    return InstructionStream.from_pairs(
+        name=f"all_to_all_{num_qubits}", num_qubits=num_qubits, pairs=qft_pairs(num_qubits)
+    )
+
+
+def nearest_neighbour_stream(num_qubits: int, rounds: int = 1) -> InstructionStream:
+    """Each qubit talks to its successor, repeated ``rounds`` times.
+
+    Alternates odd and even pairings so each round is two fully parallel
+    wavefronts (the brick-wall pattern of nearest-neighbour circuits).
+    """
+    if num_qubits < 2:
+        raise SchedulingError(f"need at least 2 qubits, got {num_qubits}")
+    if rounds < 1:
+        raise SchedulingError(f"rounds must be >= 1, got {rounds}")
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(rounds):
+        pairs.extend((i, i + 1) for i in range(1, num_qubits, 2))
+        pairs.extend((i, i + 1) for i in range(2, num_qubits, 2))
+    return InstructionStream.from_pairs(
+        name=f"nearest_neighbour_{num_qubits}_x{rounds}", num_qubits=num_qubits, pairs=pairs
+    )
+
+
+def permutation_stream(num_qubits: int, *, seed: Optional[int] = 0) -> InstructionStream:
+    """A random perfect matching: each qubit communicates exactly once."""
+    if num_qubits < 2:
+        raise SchedulingError(f"need at least 2 qubits, got {num_qubits}")
+    rng = random.Random(seed)
+    qubits = list(range(1, num_qubits + 1))
+    rng.shuffle(qubits)
+    if len(qubits) % 2 == 1:
+        qubits = qubits[:-1]
+    pairs = [(qubits[i], qubits[i + 1]) for i in range(0, len(qubits), 2)]
+    return InstructionStream.from_pairs(
+        name=f"permutation_{num_qubits}", num_qubits=num_qubits, pairs=pairs
+    )
+
+
+def random_stream(
+    num_qubits: int, num_operations: int, *, seed: Optional[int] = 0
+) -> InstructionStream:
+    """Uniform random pairs (with per-qubit dependencies arising naturally)."""
+    if num_qubits < 2:
+        raise SchedulingError(f"need at least 2 qubits, got {num_qubits}")
+    if num_operations < 1:
+        raise SchedulingError(f"num_operations must be >= 1, got {num_operations}")
+    rng = random.Random(seed)
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(num_operations):
+        a = rng.randint(1, num_qubits)
+        b = rng.randint(1, num_qubits - 1)
+        if b >= a:
+            b += 1
+        pairs.append((a, b))
+    return InstructionStream.from_pairs(
+        name=f"random_{num_qubits}_{num_operations}", num_qubits=num_qubits, pairs=pairs
+    )

@@ -1,0 +1,165 @@
+"""Tests for the regeneration of every paper figure and table.
+
+These tests assert the *shape* claims of each artefact (who wins, growth
+trends, crossovers), not absolute values — the same standard EXPERIMENTS.md
+applies when comparing against the paper.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.fig8 import figure8, rounds_to_converge
+from repro.analysis.fig9 import error_amplification, figure9
+from repro.analysis.fig10 import figure10
+from repro.analysis.fig11 import figure11
+from repro.analysis.fig12 import breakdown_error_rate, figure12
+from repro.analysis.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.analysis.tables import derived_channel_table, table1, table2
+from repro.errors import ConfigurationError
+from repro.physics.constants import THRESHOLD_ERROR
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure8(max_rounds=20)
+
+    def test_has_six_series(self, figure):
+        assert len(figure.series) == 6
+
+    def test_dejmps_converges_faster_than_bbpssw(self, figure):
+        dejmps = figure.get("DEJMPS protocol, initial fidelity=0.99")
+        bbpssw = figure.get("BBPSSW protocol, initial fidelity=0.99")
+        assert dejmps.y[5] < bbpssw.y[5]
+
+    def test_dejmps_floor_below_bbpssw(self, figure):
+        dejmps = figure.get("DEJMPS protocol, initial fidelity=0.999")
+        bbpssw = figure.get("BBPSSW protocol, initial fidelity=0.999")
+        assert min(dejmps.y) < min(bbpssw.y)
+
+    def test_errors_eventually_below_start(self, figure):
+        for series in figure.series:
+            assert min(series.y) < series.y[0]
+
+    def test_bbpssw_needs_5_to_10x_more_rounds(self):
+        dejmps_rounds = rounds_to_converge("dejmps", 0.99)
+        bbpssw_rounds = rounds_to_converge("bbpssw", 0.99)
+        assert bbpssw_rounds >= 4 * dejmps_rounds
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure9(max_hops=70)
+
+    def test_has_five_error_series_plus_threshold(self, figure):
+        assert len(figure.series) == 6
+        assert "threshold error" in figure.labels
+
+    def test_error_monotone_in_hops(self, figure):
+        for label in figure.labels:
+            if label != "threshold error":
+                assert figure.get(label).is_monotonic_increasing()
+
+    def test_factor_100_amplification_claim(self):
+        assert 30 <= error_amplification(1e-4, 64) <= 150
+
+    def test_64_hops_at_1e4_crosses_threshold(self, figure):
+        series = figure.get("1e-04 initial error")
+        assert series.y_at(64) > THRESHOLD_ERROR
+
+    def test_1e8_curve_floors_above_initial(self, figure):
+        series = figure.get("1e-08 initial error")
+        assert series.y_at(64) > 100 * 1e-8
+
+
+class TestFigures10And11:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return figure10(distances=range(5, 41, 5))
+
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        return figure11(distances=range(5, 41, 5))
+
+    def test_five_placement_series(self, fig10, fig11):
+        assert len(fig10.series) == 5
+        assert len(fig11.series) == 5
+
+    def test_after_teleport_dominates_both_metrics(self, fig10, fig11):
+        for figure in (fig10, fig11):
+            after = figure.get("DEJMPS protocol once after each teleport")
+            end = figure.get("DEJMPS protocol only at end")
+            assert after.y[-1] > 10 * end.y[-1]
+
+    def test_virtual_wire_minimises_teleported_pairs(self, fig11):
+        wire = fig11.get("DEJMPS protocol twice before teleport")
+        end = fig11.get("DEJMPS protocol only at end")
+        assert wire.y[-1] <= end.y[-1]
+
+    def test_resource_counts_grow_with_distance(self, fig10):
+        for series in fig10.series:
+            assert series.y[-1] >= series.y[0]
+
+    def test_totals_exceed_teleported_counts(self, fig10, fig11):
+        for label in fig10.labels:
+            total = fig10.get(label)
+            teleported = fig11.get(label)
+            assert all(t >= p for t, p in zip(total.y, teleported.y))
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure12(error_rates=[1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4], distance_hops=32)
+
+    def test_all_curves_break_down_at_1e4(self, figure):
+        for series in figure.series:
+            assert math.isinf(series.y[-1])
+
+    def test_all_curves_feasible_at_1e7(self, figure):
+        for series in figure.series:
+            assert math.isfinite(series.y_at(1e-7))
+
+    def test_breakdown_near_1e5(self):
+        breakdown = breakdown_error_rate(error_rates=[1e-7, 1e-6, 1e-5, 3e-5, 1e-4])
+        assert 1e-6 < breakdown <= 1e-4
+
+    def test_resources_spread_about_two_orders_in_working_regime(self, figure):
+        end = figure.get("DEJMPS protocol only at end")
+        finite = end.finite_y
+        assert max(finite) / min(finite) > 10
+
+
+class TestTables:
+    def test_table1_values(self):
+        table = table1()
+        assert table.column("Time (us)")[:4] == [1.0, 20.0, 0.2, 100.0]
+
+    def test_table2_values(self):
+        table = table2()
+        assert table.column("Error probability") == [1e-8, 1e-7, 1e-6, 1e-8]
+
+    def test_derived_table_headline_numbers(self):
+        table = derived_channel_table()
+        values = dict(zip(table.column("Quantity"), table.column("Value")))
+        assert 550 <= values["Ballistic/teleport latency crossover"] <= 650
+        assert values["Corner-to-corner ballistic error (1000x1000 grid)"] > 1e-3
+        assert values["EPR pairs per logical communication (2^rounds x 49)"] == 392
+
+
+class TestExperimentRegistry:
+    def test_every_table_and_figure_registered(self):
+        expected = {"table1", "table2", "derived", "figure8", "figure9", "figure10",
+                    "figure11", "figure12", "figure16"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_light_experiments_run(self):
+        for name in list_experiments(include_heavy=False):
+            result = get_experiment(name).run()
+            assert result is not None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("figure99")

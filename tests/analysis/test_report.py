@@ -1,0 +1,28 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.report import reproduction_report, run_experiments
+
+
+class TestReport:
+    def test_runs_all_light_experiments(self):
+        results = run_experiments(include_heavy=False)
+        names = {experiment.identifier for experiment, _ in results}
+        light = {n for n, e in EXPERIMENTS.items() if not e.heavy}
+        assert names == light
+
+    def test_selected_experiments_only(self):
+        results = run_experiments(["table1", "figure9"])
+        assert [e.identifier for e, _ in results] == ["table1", "figure9"]
+
+    def test_report_mentions_every_light_experiment(self):
+        text = reproduction_report(include_heavy=False)
+        for name, experiment in EXPERIMENTS.items():
+            if not experiment.heavy:
+                assert f"[{name}]" in text
+
+    def test_report_contains_expectations_and_values(self):
+        text = reproduction_report(["table2", "figure8"])
+        assert "paper expectation" in text
+        assert "1e-07" in text or "1e-7" in text
+        assert "DEJMPS" in text

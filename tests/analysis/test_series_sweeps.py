@@ -1,0 +1,126 @@
+"""Tests for the figure/table containers and sweep helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.series import FigureData, Series, TableData
+from repro.analysis.sweeps import (
+    crossover_index,
+    decades,
+    geometric_space,
+    integer_range,
+    linear_space,
+    nearest_index,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSeries:
+    def test_lengths_must_match(self):
+        with pytest.raises(ConfigurationError):
+            Series("bad", (1, 2), (1,))
+
+    def test_from_points(self):
+        series = Series.from_points("s", [1, 2, 3], [4, 5, 6])
+        assert len(series) == 3
+        assert series.y_at(2) == 5
+        assert series.y_at(99) is None
+
+    def test_finite_y_filters_inf(self):
+        series = Series.from_points("s", [1, 2, 3], [1.0, math.inf, 2.0])
+        assert series.finite_y == [1.0, 2.0]
+
+    def test_monotonicity_checks(self):
+        increasing = Series.from_points("inc", [1, 2, 3], [1, 2, 3])
+        decreasing = Series.from_points("dec", [1, 2, 3], [3, 2, 1])
+        assert increasing.is_monotonic_increasing(strict=True)
+        assert not increasing.is_monotonic_decreasing()
+        assert decreasing.is_monotonic_decreasing(strict=True)
+
+
+class TestFigureData:
+    def _figure(self):
+        return FigureData(
+            name="fig",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series.from_points("a", [1, 2], [1.0, 2.0]),
+                Series.from_points("b", [1, 2], [3.0, 4.0]),
+            ),
+        )
+
+    def test_get_by_label(self):
+        assert self._figure().get("b").y == (3.0, 4.0)
+
+    def test_get_unknown_label(self):
+        with pytest.raises(KeyError):
+            self._figure().get("zzz")
+
+    def test_labels(self):
+        assert self._figure().labels == ["a", "b"]
+
+    def test_render_contains_labels_and_values(self):
+        text = self._figure().render()
+        assert "fig" in text and "a" in text and "b" in text
+
+
+class TestTableData:
+    def _table(self):
+        return TableData(
+            name="tbl",
+            title="a table",
+            columns=("Name", "Value"),
+            rows=(("alpha", 1.0), ("beta", 2.5)),
+        )
+
+    def test_column_access(self):
+        assert self._table().column("Value") == [1.0, 2.5]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            self._table().column("Nope")
+
+    def test_render(self):
+        text = self._table().render()
+        assert "alpha" in text and "2.5" in text
+
+
+class TestSweeps:
+    def test_linear_space_endpoints(self):
+        values = linear_space(0, 10, 11)
+        assert values[0] == 0 and values[-1] == 10 and len(values) == 11
+
+    def test_linear_space_single_point(self):
+        assert linear_space(5, 10, 1) == [5.0]
+
+    def test_geometric_space(self):
+        values = geometric_space(1, 100, 3)
+        assert values == pytest.approx([1, 10, 100])
+
+    def test_geometric_space_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_space(0, 10, 3)
+
+    def test_integer_range(self):
+        assert integer_range(5, 60, 5)[:3] == [5, 10, 15]
+        assert integer_range(3, 1, -1) == [3, 2, 1]
+
+    def test_integer_range_rejects_zero_step(self):
+        with pytest.raises(ConfigurationError):
+            integer_range(1, 5, 0)
+
+    def test_decades(self):
+        values = decades(-9, -4)
+        assert values[0] == pytest.approx(1e-9)
+        assert values[-1] == pytest.approx(1e-4)
+        assert len(values) == 6
+
+    def test_nearest_index(self):
+        assert nearest_index([1.0, 5.0, 10.0], 6.0) == 1
+
+    def test_crossover_index(self):
+        assert crossover_index([0.1, 0.2, 0.9, 1.5], 1.0) == 3
+        assert crossover_index([0.1, 0.2], 1.0) == -1

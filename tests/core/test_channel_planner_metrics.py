@@ -1,0 +1,125 @@
+"""Tests for QuantumChannel, ChannelPlanner and the six-metric report."""
+
+import pytest
+
+from repro.core.channel import QuantumChannel
+from repro.core.logical import STEANE_LEVEL_1
+from repro.core.metrics import evaluate_channel_metrics
+from repro.core.placement import virtual_wire
+from repro.core.planner import ChannelPlanner
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.geometry import Coordinate
+from repro.network.topology import square_mesh
+from repro.physics.parameters import IonTrapParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return IonTrapParameters.default()
+
+
+class TestQuantumChannel:
+    def test_build_produces_feasible_report(self, params):
+        report = QuantumChannel(20, params).build()
+        assert report.feasible
+        assert report.hops == 20
+        assert report.distance_cells == 20 * params.cells_per_hop
+
+    def test_data_fidelity_above_threshold_after_teleport(self, params):
+        report = QuantumChannel(30, params).build(data_fidelity_in=1.0)
+        # One teleportation through an endpoint-purified pair keeps the data
+        # qubit within the fault-tolerance budget.
+        assert 1 - report.data_fidelity_out <= 2 * params.threshold_error
+
+    def test_pairs_per_logical_communication_scales_with_encoding(self, params):
+        level2 = QuantumChannel(20, params).build()
+        level1 = QuantumChannel(20, params, encoding=STEANE_LEVEL_1).build()
+        ratio = level2.pairs_per_logical_communication / level1.pairs_per_logical_communication
+        assert ratio == pytest.approx(7.0)
+
+    def test_ballistic_distribution_option(self, params):
+        report = QuantumChannel(5, params, distribution="ballistic").build()
+        assert report.distribution.teleport_operations == 0
+
+    def test_placement_option_respected(self, params):
+        report = QuantumChannel(20, params, placement=virtual_wire(1)).build()
+        assert report.placement.virtual_wire_rounds == 1
+
+    def test_describe_contains_key_fields(self, params):
+        text = QuantumChannel(10, params).build().describe()
+        assert "pairs teleported" in text
+        assert "setup latency" in text
+
+    def test_rejects_zero_hops(self, params):
+        with pytest.raises(ConfigurationError):
+            QuantumChannel(0, params)
+
+    def test_rejects_unknown_distribution(self, params):
+        with pytest.raises(ConfigurationError):
+            QuantumChannel(5, params, distribution="postal")
+
+
+class TestChannelMetrics:
+    def test_metrics_are_consistent_with_report(self, params):
+        report = QuantumChannel(20, params).build()
+        metrics = evaluate_channel_metrics(report, teleporters_per_node=4)
+        assert metrics.error_rate == pytest.approx(report.budget.arrival_error)
+        assert metrics.epr_pair_count == pytest.approx(report.pairs_per_logical_communication)
+        assert metrics.latency_us == pytest.approx(report.setup_latency_us)
+        assert metrics.router_storage_cells == 16
+        assert metrics.endpoint_purifier_units == report.budget.endpoint_rounds
+        assert metrics.classical_messages > 0
+
+    def test_describe(self, params):
+        metrics = evaluate_channel_metrics(QuantumChannel(10, params).build())
+        assert "latency" in metrics.describe()
+
+
+class TestChannelPlanner:
+    def test_plan_uses_manhattan_distance(self, params):
+        planner = ChannelPlanner(square_mesh(16), params)
+        plan = planner.plan(Coordinate(0, 0), Coordinate(5, 7))
+        assert plan.hops == 12
+        assert plan.path.source == Coordinate(0, 0)
+        assert plan.path.destination == Coordinate(5, 7)
+
+    def test_generator_is_near_the_middle(self, params):
+        planner = ChannelPlanner(square_mesh(16), params)
+        plan = planner.plan(Coordinate(0, 0), Coordinate(10, 0))
+        assert plan.generator_node == Coordinate(5, 0)
+
+    def test_budget_cached_per_distance(self, params):
+        planner = ChannelPlanner(square_mesh(16), params)
+        a = planner.plan(Coordinate(0, 0), Coordinate(3, 3))
+        b = planner.plan(Coordinate(10, 10), Coordinate(13, 13))
+        assert a.budget is b.budget
+
+    def test_worst_case_plan_spans_the_mesh(self, params):
+        planner = ChannelPlanner(square_mesh(8), params)
+        assert planner.worst_case_plan().hops == 14
+
+    def test_plan_many_skips_local_requests(self, params):
+        planner = ChannelPlanner(square_mesh(4), params)
+        plans = planner.plan_many(
+            [(Coordinate(0, 0), Coordinate(0, 0)), (Coordinate(0, 0), Coordinate(1, 1))]
+        )
+        assert len(plans) == 1
+
+    def test_same_endpoint_rejected(self, params):
+        planner = ChannelPlanner(square_mesh(4), params)
+        with pytest.raises(RoutingError):
+            planner.plan(Coordinate(1, 1), Coordinate(1, 1))
+
+    def test_out_of_grid_rejected(self, params):
+        planner = ChannelPlanner(square_mesh(4), params)
+        with pytest.raises(RoutingError):
+            planner.plan(Coordinate(0, 0), Coordinate(9, 0))
+
+    def test_planner_adopts_topology_hop_length(self, params):
+        topology = square_mesh(4, cells_per_hop=300)
+        planner = ChannelPlanner(topology, params)
+        assert planner.params.cells_per_hop == 300
+
+    def test_plan_describe(self, params):
+        planner = ChannelPlanner(square_mesh(8), params)
+        assert "hops" in planner.plan(Coordinate(0, 0), Coordinate(3, 4)).describe()

@@ -1,0 +1,114 @@
+"""Tests for the two EPR distribution methodologies."""
+
+import pytest
+
+from repro.core.distribution import (
+    BallisticDistribution,
+    ChainedTeleportationDistribution,
+    get_distribution,
+)
+from repro.core.placement import virtual_wire
+from repro.errors import ConfigurationError
+from repro.physics.epr import generation_fidelity
+from repro.physics.parameters import IonTrapParameters
+
+
+@pytest.fixture
+def params():
+    return IonTrapParameters.default()
+
+
+class TestBallistic:
+    def test_fidelity_decays_with_distance(self, params):
+        dist = BallisticDistribution(params)
+        short = dist.distribute(2)
+        long = dist.distribute(20)
+        assert long.arrival_fidelity < short.arrival_fidelity
+
+    def test_latency_linear_in_distance(self, params):
+        dist = BallisticDistribution(params)
+        d10 = dist.distribute(10).latency_us
+        d20 = dist.distribute(20).latency_us
+        # Doubling the distance roughly doubles the (movement-dominated) latency.
+        assert d20 > 1.8 * d10 - 200
+
+    def test_no_teleporters_used(self, params):
+        assert BallisticDistribution(params).distribute(10).teleport_operations == 0
+
+    def test_arrival_error_close_to_eq1_prediction(self, params):
+        dist = BallisticDistribution(params)
+        result = dist.distribute(10)
+        cells = 10 * params.cells_per_hop + 2 * params.endpoint_local_cells
+        predicted = 1 - generation_fidelity(params) * (1 - params.errors.move_cell) ** cells
+        assert result.arrival_error == pytest.approx(predicted, rel=0.05)
+
+
+class TestChained:
+    def test_link_state_error_includes_generation_and_movement(self, params):
+        dist = ChainedTeleportationDistribution(params)
+        raw = dist.raw_link_state()
+        gen_error = 1 - generation_fidelity(params)
+        move_error = 1 - (1 - params.errors.move_cell) ** params.cells_per_hop
+        assert raw.error == pytest.approx(gen_error + move_error, rel=0.05)
+
+    def test_link_purification_improves_link(self, params):
+        raw = ChainedTeleportationDistribution(params)
+        purified = ChainedTeleportationDistribution(params, placement=virtual_wire(2))
+        assert purified.link_state().fidelity > raw.link_state().fidelity
+
+    def test_link_cost_grows_with_purification(self, params):
+        raw = ChainedTeleportationDistribution(params)
+        once = ChainedTeleportationDistribution(params, placement=virtual_wire(1))
+        twice = ChainedTeleportationDistribution(params, placement=virtual_wire(2))
+        assert raw.link_cost() == 1.0
+        assert 2.0 < once.link_cost() < 2.5
+        assert 4.0 < twice.link_cost() < 5.5
+
+    def test_error_grows_with_hops(self, params):
+        dist = ChainedTeleportationDistribution(params)
+        errors = [dist.distribute(h).arrival_error for h in (2, 10, 30)]
+        assert errors == sorted(errors)
+
+    def test_latency_nearly_distance_independent(self, params):
+        dist = ChainedTeleportationDistribution(params)
+        d5 = dist.distribute(5).latency_us
+        d40 = dist.distribute(40).latency_us
+        # Links are pre-distributed, so only the classical term grows.
+        assert d40 < d5 + 2 * params.times.classical(40 * params.cells_per_hop) + 1.0
+
+    def test_teleports_and_links_counted(self, params):
+        dist = ChainedTeleportationDistribution(params)
+        result = dist.distribute(10)
+        assert result.teleport_operations == 9
+        assert result.link_pairs_consumed == pytest.approx(10.0)
+
+    def test_chained_and_ballistic_fidelity_approximately_equal(self, params):
+        # Section 4.6: "The final fidelity of these two techniques is
+        # approximately the same" — the chained pair inherits the ballistic
+        # error its link pairs accumulated, plus per-hop generation/gate error.
+        chained = ChainedTeleportationDistribution(params).distribute(40)
+        ballistic = BallisticDistribution(params).distribute(40)
+        ratio = chained.arrival_error / ballistic.arrival_error
+        assert 0.3 < ratio < 3.0
+
+    def test_chained_latency_beats_ballistic_at_long_distance(self, params):
+        chained = ChainedTeleportationDistribution(params).distribute(40)
+        ballistic = BallisticDistribution(params).distribute(40)
+        assert chained.latency_us < ballistic.latency_us
+
+    def test_rejects_negative_hops(self, params):
+        with pytest.raises(ConfigurationError):
+            ChainedTeleportationDistribution(params).distribute(-1)
+
+
+class TestFactory:
+    def test_get_by_name(self, params):
+        assert isinstance(get_distribution("ballistic", params), BallisticDistribution)
+        assert isinstance(get_distribution("chained", params), ChainedTeleportationDistribution)
+        assert isinstance(
+            get_distribution("teleportation", params), ChainedTeleportationDistribution
+        )
+
+    def test_unknown_name_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            get_distribution("carrier-pigeon", params)

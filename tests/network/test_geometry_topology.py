@@ -1,0 +1,139 @@
+"""Tests for grid geometry and the mesh topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.geometry import Coordinate, iter_grid, manhattan_distance, midpoint
+from repro.network.nodes import ResourceAllocation
+from repro.network.topology import LinkId, MeshTopology, square_mesh
+
+
+class TestCoordinate:
+    def test_manhattan_distance(self):
+        assert Coordinate(0, 0).manhattan(Coordinate(3, 4)) == 7
+        assert manhattan_distance(Coordinate(2, 2), Coordinate(2, 2)) == 0
+
+    def test_neighbours_interior(self):
+        assert len(Coordinate(2, 2).neighbours(5, 5)) == 4
+
+    def test_neighbours_corner(self):
+        assert len(Coordinate(0, 0).neighbours(5, 5)) == 2
+
+    def test_neighbours_edge(self):
+        assert len(Coordinate(0, 2).neighbours(5, 5)) == 3
+
+    def test_midpoint(self):
+        assert midpoint(Coordinate(0, 0), Coordinate(4, 6)) == Coordinate(2, 3)
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(ConfigurationError):
+            Coordinate(-1, 0)
+
+    def test_iter_grid_row_major(self):
+        coords = list(iter_grid(3, 2))
+        assert coords[0] == Coordinate(0, 0)
+        assert coords[1] == Coordinate(1, 0)
+        assert coords[-1] == Coordinate(2, 1)
+        assert len(coords) == 6
+
+    def test_iter_grid_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_grid(0, 3))
+
+
+class TestLinkId:
+    def test_canonical_orientation(self):
+        a, b = Coordinate(1, 1), Coordinate(2, 1)
+        assert LinkId(a, b) == LinkId(b, a)
+
+    def test_horizontal_flag(self):
+        assert LinkId(Coordinate(1, 1), Coordinate(2, 1)).horizontal
+        assert not LinkId(Coordinate(1, 1), Coordinate(1, 2)).horizontal
+
+    def test_rejects_non_adjacent(self):
+        with pytest.raises(ConfigurationError):
+            LinkId(Coordinate(0, 0), Coordinate(2, 0))
+
+
+class TestMeshTopology:
+    def test_node_and_link_counts(self):
+        mesh = MeshTopology(4, 3)
+        assert mesh.node_count == 12
+        # Links: horizontal 3*3=9, vertical 4*2=8.
+        assert mesh.link_count == 17
+
+    def test_square_mesh_16(self):
+        mesh = square_mesh(16)
+        assert mesh.node_count == 256
+        assert mesh.diameter_hops() == 30
+
+    def test_connectivity(self):
+        assert square_mesh(5).is_connected()
+
+    def test_hop_and_cell_distance(self):
+        mesh = square_mesh(8, cells_per_hop=600)
+        assert mesh.hop_distance(Coordinate(0, 0), Coordinate(3, 4)) == 7
+        assert mesh.cell_distance(Coordinate(0, 0), Coordinate(3, 4)) == 4200
+
+    def test_shortest_path_equals_manhattan(self):
+        mesh = square_mesh(6)
+        a, b = Coordinate(1, 2), Coordinate(5, 0)
+        assert mesh.shortest_path_length(a, b) == mesh.hop_distance(a, b)
+
+    def test_adjacency_and_link_lookup(self):
+        mesh = square_mesh(4)
+        assert mesh.are_adjacent(Coordinate(0, 0), Coordinate(0, 1))
+        assert not mesh.are_adjacent(Coordinate(0, 0), Coordinate(1, 1))
+        with pytest.raises(RoutingError):
+            mesh.link_between(Coordinate(0, 0), Coordinate(1, 1))
+
+    def test_validate_node_rejects_outside(self):
+        with pytest.raises(RoutingError):
+            square_mesh(4).validate_node(Coordinate(4, 0))
+
+    def test_resource_totals(self):
+        allocation = ResourceAllocation(teleporters_per_node=4, generators_per_node=2, purifiers_per_node=3)
+        mesh = MeshTopology(3, 3, allocation)
+        assert mesh.total_teleporters() == 36
+        assert mesh.total_generators() == 2 * mesh.link_count
+        assert mesh.total_purifiers() == 27
+        assert mesh.interconnect_area_units() == 36 + 2 * mesh.link_count + 27
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 5)
+
+    def test_describe(self):
+        assert "16x16" in square_mesh(16).describe()
+
+
+class TestResourceAllocation:
+    def test_uniform(self):
+        allocation = ResourceAllocation.uniform(1024)
+        assert allocation.teleporters_per_node == 1024
+        assert allocation.purifiers_per_node == 1024
+        assert allocation.label == "t=g=p=1024"
+
+    def test_ratio(self):
+        allocation = ResourceAllocation.ratio(2, 4)
+        assert allocation.teleporters_per_node == 8
+        assert allocation.purifiers_per_node == 2
+        assert "4p" in allocation.label
+
+    def test_area_units(self):
+        assert ResourceAllocation(4, 4, 2).area_units() == 10
+
+    def test_specs(self):
+        allocation = ResourceAllocation(5, 3, 2, queue_depth=4)
+        assert allocation.teleporter_spec.teleporters == 5
+        assert allocation.generator_spec.generators == 3
+        assert allocation.purifier_spec.purifiers == 2
+        assert allocation.purifier_spec.queue_depth == 4
+
+    def test_rejects_zero_resources(self):
+        with pytest.raises(ConfigurationError):
+            ResourceAllocation(teleporters_per_node=0)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            ResourceAllocation.ratio(1, 0)

@@ -1,0 +1,145 @@
+"""Tests for dimension-order routing and the router model."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network.geometry import Coordinate
+from repro.network.nodes import TeleporterSpec
+from repro.network.router import QuantumRouter, RouterPort, port_towards
+from repro.network.routing import (
+    DimensionOrder,
+    Path,
+    dimension_order_route,
+    link_load,
+    node_load,
+    route_many,
+)
+from repro.network.topology import square_mesh
+
+
+class TestDimensionOrderRoute:
+    def test_xy_route_goes_x_first(self):
+        path = dimension_order_route(Coordinate(0, 0), Coordinate(3, 2))
+        assert path.nodes[1] == Coordinate(1, 0)
+        assert path.hops == 5
+        assert path.destination == Coordinate(3, 2)
+
+    def test_yx_route_goes_y_first(self):
+        path = dimension_order_route(
+            Coordinate(0, 0), Coordinate(3, 2), order=DimensionOrder.YX
+        )
+        assert path.nodes[1] == Coordinate(0, 1)
+        assert path.hops == 5
+
+    def test_hops_equal_manhattan_distance(self):
+        src, dst = Coordinate(2, 7), Coordinate(9, 1)
+        path = dimension_order_route(src, dst)
+        assert path.hops == src.manhattan(dst)
+
+    def test_single_node_path(self):
+        path = dimension_order_route(Coordinate(3, 3), Coordinate(3, 3))
+        assert path.hops == 0
+        assert path.turn_node is None
+
+    def test_straight_path_has_no_turn(self):
+        path = dimension_order_route(Coordinate(0, 0), Coordinate(5, 0))
+        assert path.turn_node is None
+
+    def test_l_shaped_path_turns_at_corner(self):
+        path = dimension_order_route(Coordinate(0, 0), Coordinate(4, 3))
+        assert path.turn_node == Coordinate(4, 0)
+
+    def test_midpoint_node_is_on_path(self):
+        path = dimension_order_route(Coordinate(0, 0), Coordinate(6, 6))
+        assert path.midpoint_node() in path.nodes
+
+    def test_links_are_consecutive(self):
+        path = dimension_order_route(Coordinate(1, 1), Coordinate(4, 4))
+        assert len(path.links) == path.hops
+
+    def test_topology_validation(self):
+        mesh = square_mesh(4)
+        with pytest.raises(RoutingError):
+            dimension_order_route(Coordinate(0, 0), Coordinate(10, 0), mesh)
+
+    def test_path_rejects_non_adjacent_nodes(self):
+        with pytest.raises(RoutingError):
+            Path((Coordinate(0, 0), Coordinate(2, 0)))
+
+    def test_route_many(self):
+        paths = route_many([(Coordinate(0, 0), Coordinate(1, 1)), (Coordinate(2, 2), Coordinate(0, 2))])
+        assert [p.hops for p in paths] == [2, 2]
+
+    def test_link_and_node_load(self):
+        paths = route_many(
+            [(Coordinate(0, 0), Coordinate(2, 0)), (Coordinate(0, 0), Coordinate(2, 1))]
+        )
+        loads = link_load(paths)
+        assert max(loads.values()) == 2  # both paths share the first two X links
+        nodes = node_load(paths)
+        assert nodes[Coordinate(0, 0)] == 2
+
+
+class TestRouterPorts:
+    def test_port_towards(self):
+        at = Coordinate(3, 3)
+        assert port_towards(at, Coordinate(4, 3)) is RouterPort.EAST
+        assert port_towards(at, Coordinate(2, 3)) is RouterPort.WEST
+        assert port_towards(at, Coordinate(3, 4)) is RouterPort.NORTH
+        assert port_towards(at, Coordinate(3, 2)) is RouterPort.SOUTH
+
+    def test_port_towards_rejects_non_adjacent(self):
+        with pytest.raises(RoutingError):
+            port_towards(Coordinate(0, 0), Coordinate(2, 2))
+
+    def test_port_dimensions(self):
+        assert RouterPort.EAST.dimension == "x"
+        assert RouterPort.NORTH.dimension == "y"
+        assert RouterPort.LOCAL.dimension == "local"
+
+
+class TestQuantumRouter:
+    def test_teleporter_split(self):
+        router = QuantumRouter(Coordinate(1, 1), TeleporterSpec(8))
+        assert router.x_teleporters == 4
+        assert router.y_teleporters == 4
+        assert router.storage_cells == 32
+
+    def test_odd_teleporter_count_keeps_at_least_one_per_set(self):
+        router = QuantumRouter(Coordinate(1, 1), TeleporterSpec(1))
+        assert router.x_teleporters == 1
+        assert router.y_teleporters == 1
+
+    def test_straight_transit_uses_outgoing_dimension(self):
+        router = QuantumRouter(Coordinate(2, 2))
+        transit = router.plan_transit(Coordinate(1, 2), Coordinate(3, 2))
+        assert transit.uses_x_set and not transit.uses_y_set
+        assert not transit.turn
+        assert transit.intra_router_cells == router.straight_cells
+
+    def test_turning_transit_moves_between_sets(self):
+        router = QuantumRouter(Coordinate(2, 2))
+        transit = router.plan_transit(Coordinate(1, 2), Coordinate(2, 3))
+        assert transit.turn
+        assert transit.uses_y_set
+        assert transit.intra_router_cells == router.turn_cells
+
+    def test_ejection_at_endpoint(self):
+        router = QuantumRouter(Coordinate(2, 2))
+        transit = router.plan_transit(Coordinate(1, 2), None)
+        assert transit.ejected
+        assert transit.intra_router_cells == router.eject_cells
+
+    def test_local_injection(self):
+        router = QuantumRouter(Coordinate(2, 2))
+        transit = router.plan_transit(None, Coordinate(2, 3))
+        assert transit.input_port is RouterPort.LOCAL
+        assert transit.uses_y_set
+
+    def test_teleporters_for_transit(self):
+        router = QuantumRouter(Coordinate(2, 2), TeleporterSpec(6))
+        transit = router.plan_transit(Coordinate(1, 2), Coordinate(3, 2))
+        assert router.teleporters_for(transit) == 3
+
+    def test_describe(self):
+        assert "t=4" in QuantumRouter(Coordinate(0, 0), TeleporterSpec(4)).describe()

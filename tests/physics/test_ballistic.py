@@ -1,0 +1,76 @@
+"""Tests for the ballistic transport model (Eqs. 1 and 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.ballistic import (
+    ballistic_error,
+    ballistic_fidelity,
+    ballistic_move_state,
+    ballistic_time,
+    max_ballistic_distance,
+)
+from repro.physics.parameters import ErrorRates, IonTrapParameters
+from repro.physics.states import BellDiagonalState
+
+
+class TestFidelity:
+    def test_eq1_exact(self):
+        params = IonTrapParameters.default()
+        assert ballistic_fidelity(1.0, 1000, params) == pytest.approx((1 - 1e-6) ** 1000)
+
+    def test_zero_distance_is_identity(self):
+        assert ballistic_fidelity(0.97, 0) == pytest.approx(0.97)
+
+    def test_scales_with_initial_fidelity(self):
+        assert ballistic_fidelity(0.5, 100) == pytest.approx(0.5 * ballistic_fidelity(1.0, 100))
+
+    def test_paper_corner_to_corner_claim(self):
+        # A 1000x1000 grid corner-to-corner trip (~2000 cells) exceeds 1e-3 error.
+        assert ballistic_error(0.0, 1998) > 1e-3
+
+    def test_single_cell_error_close_to_pmv(self):
+        assert ballistic_error(0.0, 1) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            ballistic_fidelity(1.0, -5)
+
+
+class TestTime:
+    def test_eq2_linear(self):
+        assert ballistic_time(600) == pytest.approx(120.0)
+        assert ballistic_time(1) == pytest.approx(0.2)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            ballistic_time(-1)
+
+
+class TestStateMovement:
+    def test_state_fidelity_matches_scalar_model(self):
+        params = IonTrapParameters.default()
+        state = ballistic_move_state(BellDiagonalState.perfect(), 500, params)
+        assert state.fidelity == pytest.approx(ballistic_fidelity(1.0, 500, params))
+
+    def test_normalisation_preserved(self):
+        state = ballistic_move_state(BellDiagonalState.werner(0.99), 2000)
+        assert sum(state.coefficients) == pytest.approx(1.0)
+
+
+class TestMaxDistance:
+    def test_budget_bound_is_consistent(self):
+        params = IonTrapParameters.default()
+        distance = max_ballistic_distance(1e-3, params)
+        assert ballistic_error(0.0, distance, params) <= 1e-3
+        assert ballistic_error(0.0, distance + 1, params) > 1e-3 * 0.999
+
+    def test_higher_error_rate_shortens_distance(self):
+        worse = IonTrapParameters(errors=ErrorRates(move_cell=1e-5))
+        assert max_ballistic_distance(1e-3, worse) < max_ballistic_distance(
+            1e-3, IonTrapParameters.default()
+        )
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            max_ballistic_distance(0.0)

@@ -1,0 +1,75 @@
+"""Tests for fidelity helpers and Werner-parameter algebra."""
+
+import pytest
+
+from repro.errors import FidelityError
+from repro.physics.fidelity import (
+    clamp_fidelity,
+    combine_werner,
+    error_to_fidelity,
+    fidelity_from_werner_parameter,
+    fidelity_to_error,
+    validate_error,
+    validate_fidelity,
+    werner_parameter,
+)
+
+
+class TestValidation:
+    def test_validate_fidelity_accepts_bounds(self):
+        assert validate_fidelity(0.0) == 0.0
+        assert validate_fidelity(1.0) == 1.0
+
+    def test_validate_fidelity_rejects_out_of_range(self):
+        with pytest.raises(FidelityError):
+            validate_fidelity(1.0001)
+        with pytest.raises(FidelityError):
+            validate_fidelity(-0.0001)
+
+    def test_validate_error_rejects_out_of_range(self):
+        with pytest.raises(FidelityError):
+            validate_error(2.0)
+
+    def test_conversions_are_inverse(self):
+        assert fidelity_to_error(0.999) == pytest.approx(0.001)
+        assert error_to_fidelity(0.001) == pytest.approx(0.999)
+        assert error_to_fidelity(fidelity_to_error(0.42)) == pytest.approx(0.42)
+
+
+class TestWernerAlgebra:
+    def test_werner_parameter_at_extremes(self):
+        assert werner_parameter(1.0) == pytest.approx(1.0)
+        assert werner_parameter(0.25) == pytest.approx(0.0)
+
+    def test_round_trip(self):
+        for fidelity in (0.3, 0.5, 0.9, 0.999):
+            w = werner_parameter(fidelity)
+            assert fidelity_from_werner_parameter(w) == pytest.approx(fidelity)
+
+    def test_combine_werner_is_commutative(self):
+        assert combine_werner(0.99, 0.95) == pytest.approx(combine_werner(0.95, 0.99))
+
+    def test_combine_with_perfect_is_identity(self):
+        assert combine_werner(0.97, 1.0) == pytest.approx(0.97)
+
+    def test_combined_errors_approximately_add_when_small(self):
+        f = combine_werner(1 - 1e-4, 1 - 2e-4)
+        assert 1 - f == pytest.approx(3e-4, rel=0.05)
+
+    def test_combine_never_exceeds_inputs(self):
+        assert combine_werner(0.99, 0.98) <= 0.98 + 1e-12
+
+    def test_rejects_invalid_werner_parameter(self):
+        with pytest.raises(FidelityError):
+            fidelity_from_werner_parameter(1.5)
+
+
+class TestClamp:
+    def test_clamp_inside_range(self):
+        assert clamp_fidelity(0.5) == 0.5
+
+    def test_clamp_above(self):
+        assert clamp_fidelity(1.0000001) == 1.0
+
+    def test_clamp_below(self):
+        assert clamp_fidelity(-1e-9) == 0.0

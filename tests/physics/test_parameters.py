@@ -1,0 +1,134 @@
+"""Tests for repro.physics.parameters and repro.physics.constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics import constants as C
+from repro.physics.parameters import ErrorRates, IonTrapParameters, OperationTimes
+
+
+class TestOperationTimes:
+    def test_defaults_match_table1(self):
+        times = OperationTimes()
+        assert times.one_qubit_gate == 1.0
+        assert times.two_qubit_gate == 20.0
+        assert times.move_cell == 0.2
+        assert times.measure == 100.0
+
+    def test_teleport_time_matches_table1(self):
+        # Eq. 5: 2*t_1q + t_2q + t_ms = 122 us, the Table 1 value.
+        assert OperationTimes().teleport(0.0) == pytest.approx(122.0)
+
+    def test_purify_round_matches_table1(self):
+        # Eq. 6: t_2q + t_ms = 120 us, which the paper rounds to ~121 us.
+        assert OperationTimes().purify_round(0.0) == pytest.approx(120.0)
+
+    def test_generate_time_close_to_table1(self):
+        assert OperationTimes().generate == pytest.approx(122.0, rel=0.02)
+
+    def test_teleport_time_grows_with_distance(self):
+        times = OperationTimes()
+        assert times.teleport(10_000) > times.teleport(0)
+
+    def test_ballistic_time_linear_in_distance(self):
+        times = OperationTimes()
+        assert times.ballistic(600) == pytest.approx(120.0)
+        assert times.ballistic(1200) == pytest.approx(2 * times.ballistic(600))
+
+    def test_classical_much_faster_than_ballistic(self):
+        times = OperationTimes()
+        assert times.classical(600) < times.ballistic(600) / 100
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            OperationTimes().teleport(-1)
+
+    def test_rejects_non_positive_gate_time(self):
+        with pytest.raises(ConfigurationError):
+            OperationTimes(one_qubit_gate=0.0)
+
+
+class TestErrorRates:
+    def test_defaults_match_table2(self):
+        errors = ErrorRates()
+        assert errors.one_qubit_gate == 1e-8
+        assert errors.two_qubit_gate == 1e-7
+        assert errors.move_cell == 1e-6
+        assert errors.measure == 1e-8
+
+    def test_uniform_sets_all_rates(self):
+        errors = ErrorRates.uniform(1e-5)
+        assert errors.one_qubit_gate == 1e-5
+        assert errors.two_qubit_gate == 1e-5
+        assert errors.move_cell == 1e-5
+        assert errors.measure == 1e-5
+
+    def test_scaled_multiplies_rates(self):
+        errors = ErrorRates().scaled(10)
+        assert errors.move_cell == pytest.approx(1e-5)
+
+    def test_scaled_clips_below_one(self):
+        errors = ErrorRates.uniform(0.5).scaled(10)
+        assert errors.move_cell < 1.0
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ConfigurationError):
+            ErrorRates().scaled(-1)
+
+    def test_rejects_probability_of_one(self):
+        with pytest.raises(ConfigurationError):
+            ErrorRates(move_cell=1.0)
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ConfigurationError):
+            ErrorRates(measure=-0.1)
+
+
+class TestIonTrapParameters:
+    def test_default_threshold(self):
+        params = IonTrapParameters.default()
+        assert params.threshold_error == pytest.approx(7.5e-5)
+        assert params.threshold_fidelity == pytest.approx(1 - 7.5e-5)
+
+    def test_uniform_error_sets_preparation_by_default(self):
+        params = IonTrapParameters.uniform_error(1e-4)
+        assert params.errors.move_cell == 1e-4
+        assert params.zero_prep_fidelity == pytest.approx(1 - 1e-4)
+
+    def test_uniform_error_can_exclude_preparation(self):
+        params = IonTrapParameters.uniform_error(1e-4, include_preparation=False)
+        assert params.zero_prep_fidelity == C.DEFAULT_ZERO_PREP_FIDELITY
+
+    def test_with_hop_cells_returns_copy(self):
+        params = IonTrapParameters.default()
+        other = params.with_hop_cells(300)
+        assert other.cells_per_hop == 300
+        assert params.cells_per_hop == 600
+
+    def test_with_errors_returns_copy(self):
+        params = IonTrapParameters.default()
+        other = params.with_errors(ErrorRates.uniform(1e-3))
+        assert other.errors.move_cell == 1e-3
+        assert params.errors.move_cell == 1e-6
+
+    def test_rejects_bad_zero_prep_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            IonTrapParameters(zero_prep_fidelity=0.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            IonTrapParameters(threshold_error=1.5)
+
+    def test_rejects_non_positive_hop_cells(self):
+        with pytest.raises(ConfigurationError):
+            IonTrapParameters(cells_per_hop=0)
+
+    def test_describe_mentions_key_values(self):
+        text = IonTrapParameters.default().describe()
+        assert "threshold" in text
+        assert "600" in text
+
+    def test_frozen_dataclass(self):
+        params = IonTrapParameters.default()
+        with pytest.raises(AttributeError):
+            params.cells_per_hop = 100  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""Tests for tree/queue purification cost accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.physics.parameters import IonTrapParameters
+from repro.physics.purification import get_protocol
+from repro.physics.purification_tree import (
+    build_schedule,
+    expected_pairs_for_rounds,
+    hardware_purifiers_for_tree,
+    schedule_to_threshold,
+)
+from repro.physics.states import BellDiagonalState
+
+
+@pytest.fixture
+def protocol():
+    return get_protocol("dejmps", IonTrapParameters.default())
+
+
+class TestExpectedPairs:
+    def test_zero_rounds_costs_one_pair(self):
+        assert expected_pairs_for_rounds([]) == 1.0
+
+    def test_cost_exceeds_power_of_two(self, protocol):
+        outcomes = protocol.iterate(BellDiagonalState.werner(0.95), 3)
+        cost = expected_pairs_for_rounds(outcomes)
+        assert cost > 8.0
+        assert cost < 12.0
+
+    def test_cost_is_monotone_in_rounds(self, protocol):
+        state = BellDiagonalState.werner(0.95)
+        costs = [
+            expected_pairs_for_rounds(protocol.iterate(state, rounds))
+            for rounds in range(5)
+        ]
+        assert costs == sorted(costs)
+
+
+class TestSchedule:
+    def test_schedule_reaches_threshold(self, protocol):
+        params = IonTrapParameters.default()
+        state = BellDiagonalState.werner(0.97)
+        schedule = schedule_to_threshold(protocol, state, params=params)
+        assert schedule.output_fidelity >= params.threshold_fidelity
+        assert schedule.rounds >= 1
+
+    def test_schedule_is_minimal(self, protocol):
+        params = IonTrapParameters.default()
+        state = BellDiagonalState.werner(0.97)
+        schedule = schedule_to_threshold(protocol, state, params=params)
+        if schedule.rounds > 0:
+            shorter = build_schedule(protocol, state, schedule.rounds - 1)
+            assert shorter.output_fidelity < params.threshold_fidelity
+
+    def test_infeasible_raises(self):
+        protocol = get_protocol("dejmps", IonTrapParameters.uniform_error(1e-3))
+        state = BellDiagonalState.werner(0.99)
+        with pytest.raises(InfeasibleError):
+            schedule_to_threshold(protocol, state)
+
+    def test_build_schedule_zero_rounds(self, protocol):
+        state = BellDiagonalState.werner(0.999)
+        schedule = build_schedule(protocol, state, 0)
+        assert schedule.output_state is state
+        assert schedule.expected_input_pairs == 1.0
+
+    def test_build_schedule_rejects_negative(self, protocol):
+        with pytest.raises(ConfigurationError):
+            build_schedule(protocol, BellDiagonalState.werner(0.99), -1)
+
+    def test_describe_mentions_rounds(self, protocol):
+        schedule = build_schedule(protocol, BellDiagonalState.werner(0.99), 2)
+        assert "rounds=2" in schedule.describe()
+
+
+class TestHardwareCount:
+    def test_queue_purifier_uses_depth_units(self):
+        assert hardware_purifiers_for_tree(3) == 3
+
+    def test_naive_tree_uses_exponential_units(self):
+        assert hardware_purifiers_for_tree(3, queue_based=False) == 7
+
+    def test_zero_rounds_needs_no_hardware(self):
+        assert hardware_purifiers_for_tree(0) == 0
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ConfigurationError):
+            hardware_purifiers_for_tree(-1)

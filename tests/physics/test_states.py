@@ -1,0 +1,130 @@
+"""Tests for the Bell-diagonal / Werner state algebra."""
+
+import pytest
+
+from repro.errors import FidelityError
+from repro.physics.states import BellDiagonalState, WernerState
+
+
+class TestConstruction:
+    def test_perfect_state(self):
+        state = BellDiagonalState.perfect()
+        assert state.fidelity == 1.0
+        assert state.error == 0.0
+
+    def test_maximally_mixed(self):
+        state = BellDiagonalState.maximally_mixed()
+        assert state.fidelity == pytest.approx(0.25)
+
+    def test_werner_spreads_error_evenly(self):
+        state = BellDiagonalState.werner(0.97)
+        assert state.fidelity == pytest.approx(0.97)
+        assert state.psi_plus == pytest.approx(0.01)
+        assert state.psi_minus == pytest.approx(0.01)
+        assert state.phi_minus == pytest.approx(0.01)
+
+    def test_from_error_with_custom_split(self):
+        state = BellDiagonalState.from_error(0.3, split=(1.0, 0.0, 0.0))
+        assert state.psi_plus == pytest.approx(0.3)
+        assert state.psi_minus == 0.0
+
+    def test_from_coefficients_normalises(self):
+        state = BellDiagonalState.from_coefficients([2.0, 1.0, 1.0, 0.0])
+        assert sum(state.coefficients) == pytest.approx(1.0)
+        assert state.fidelity == pytest.approx(0.5)
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(FidelityError):
+            BellDiagonalState(1.1, -0.1, 0.0, 0.0)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(FidelityError):
+            BellDiagonalState(0.5, 0.1, 0.1, 0.1)
+
+    def test_rejects_bad_werner_fidelity(self):
+        with pytest.raises(FidelityError):
+            BellDiagonalState.werner(1.2)
+
+
+class TestChannels:
+    def test_depolarize_mixes_toward_quarter(self):
+        state = BellDiagonalState.perfect().depolarize(1.0)
+        assert state.fidelity == pytest.approx(0.25)
+
+    def test_depolarize_zero_is_identity(self):
+        state = BellDiagonalState.werner(0.9)
+        assert state.depolarize(0.0).coefficients == pytest.approx(state.coefficients)
+
+    def test_local_depolarize_reduces_fidelity(self):
+        state = BellDiagonalState.perfect().local_depolarize(0.1)
+        assert state.fidelity == pytest.approx(0.9)
+        assert sum(state.coefficients) == pytest.approx(1.0)
+
+    def test_dephase_moves_weight_to_phi_minus(self):
+        state = BellDiagonalState.perfect().dephase(0.2)
+        assert state.phi_minus == pytest.approx(0.2)
+        assert state.psi_plus == 0.0
+
+    def test_bit_flip_moves_weight_to_psi_plus(self):
+        state = BellDiagonalState.perfect().bit_flip(0.2)
+        assert state.psi_plus == pytest.approx(0.2)
+
+    def test_movement_decay_matches_eq1(self):
+        # Eq. 1: F_new = F_old * (1 - p)^D
+        state = BellDiagonalState.perfect().movement_decay(1e-6, 1000)
+        assert state.fidelity == pytest.approx((1 - 1e-6) ** 1000)
+
+    def test_movement_decay_preserves_normalisation(self):
+        state = BellDiagonalState.werner(0.98).movement_decay(1e-4, 500)
+        assert sum(state.coefficients) == pytest.approx(1.0)
+
+    def test_movement_zero_cells_is_identity(self):
+        state = BellDiagonalState.werner(0.9)
+        assert state.movement_decay(1e-6, 0).fidelity == pytest.approx(0.9)
+
+    def test_mix(self):
+        a = BellDiagonalState.perfect()
+        b = BellDiagonalState.maximally_mixed()
+        mixed = a.mix(b, 0.5)
+        assert mixed.fidelity == pytest.approx(0.625)
+
+    def test_permute_errors(self):
+        state = BellDiagonalState(0.9, 0.06, 0.03, 0.01)
+        swapped = state.permute_errors((2, 1, 0))
+        assert swapped.psi_plus == pytest.approx(0.01)
+        assert swapped.phi_minus == pytest.approx(0.06)
+        assert swapped.fidelity == pytest.approx(0.9)
+
+    def test_permute_errors_rejects_bad_order(self):
+        with pytest.raises(FidelityError):
+            BellDiagonalState.werner(0.9).permute_errors((0, 0, 1))
+
+    def test_sorted_errors_descending(self):
+        state = BellDiagonalState(0.9, 0.01, 0.06, 0.03)
+        result = state.sorted_errors()
+        assert result.psi_plus <= result.psi_minus <= result.phi_minus
+
+    def test_twirl_preserves_fidelity(self):
+        state = BellDiagonalState(0.9, 0.08, 0.01, 0.01)
+        assert state.twirl().fidelity == pytest.approx(0.9)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(FidelityError):
+            BellDiagonalState.perfect().depolarize(1.5)
+
+
+class TestWernerState:
+    def test_round_trip_to_bell_diagonal(self):
+        werner = WernerState(0.95)
+        assert werner.to_bell_diagonal().fidelity == pytest.approx(0.95)
+
+    def test_depolarize(self):
+        werner = WernerState(1.0).depolarize(0.4)
+        assert werner.fidelity == pytest.approx(0.7)
+
+    def test_error_property(self):
+        assert WernerState(0.99).error == pytest.approx(0.01)
+
+    def test_rejects_invalid_fidelity(self):
+        with pytest.raises(FidelityError):
+            WernerState(-0.1)

@@ -1,0 +1,134 @@
+"""Tests for the teleportation model (Eqs. 3 and 5) and chained teleportation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.parameters import ErrorRates, IonTrapParameters
+from repro.physics.states import BellDiagonalState
+from repro.physics.teleportation import (
+    chained_teleport_state,
+    chained_teleportation_fidelity,
+    chained_teleportation_series,
+    teleport_state,
+    teleportation_fidelity,
+    teleportation_time,
+)
+
+PERFECT_PARAMS = IonTrapParameters(
+    errors=ErrorRates(one_qubit_gate=0.0, two_qubit_gate=0.0, move_cell=0.0, measure=0.0)
+)
+
+
+class TestEquation3:
+    def test_perfect_everything_is_lossless(self):
+        assert teleportation_fidelity(1.0, 1.0, PERFECT_PARAMS) == pytest.approx(1.0)
+
+    def test_epr_error_transfers_to_data(self):
+        f = teleportation_fidelity(1.0, 1 - 1e-3, PERFECT_PARAMS)
+        assert 1 - f == pytest.approx(1e-3, rel=0.35)
+
+    def test_formula_matches_direct_evaluation(self):
+        params = IonTrapParameters.default()
+        f_old, f_epr = 0.999, 0.995
+        p1q, p2q, pms = (
+            params.errors.one_qubit_gate,
+            params.errors.two_qubit_gate,
+            params.errors.measure,
+        )
+        expected = 0.25 * (
+            1
+            + 3
+            * (1 - p1q)
+            * (1 - p2q)
+            * ((4 * (1 - pms) ** 2 - 1) / 3)
+            * ((4 * f_old - 1) * (4 * f_epr - 1) / 9)
+        )
+        assert teleportation_fidelity(f_old, f_epr, params) == pytest.approx(expected)
+
+    def test_maximally_mixed_epr_gives_quarter(self):
+        assert teleportation_fidelity(1.0, 0.25, PERFECT_PARAMS) == pytest.approx(0.25)
+
+    def test_monotone_in_epr_fidelity(self):
+        params = IonTrapParameters.default()
+        values = [teleportation_fidelity(0.999, f) for f in (0.9, 0.95, 0.99, 0.999)]
+        assert values == sorted(values)
+
+    def test_gate_errors_bound_the_output(self):
+        params = IonTrapParameters.default()
+        f = teleportation_fidelity(1.0, 1.0, params)
+        floor = params.errors.two_qubit_gate
+        assert 1 - f >= floor * 0.5
+        assert 1 - f < 1e-5
+
+
+class TestEquation5:
+    def test_base_latency_is_122us(self):
+        assert teleportation_time(0.0) == pytest.approx(122.0)
+
+    def test_classical_term_grows_with_distance(self):
+        assert teleportation_time(100_000) > teleportation_time(0.0)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            teleportation_time(-1)
+
+
+class TestStateLevel:
+    def test_teleport_state_matches_scalar_for_werner(self):
+        params = IonTrapParameters.default()
+        data = BellDiagonalState.werner(0.999)
+        epr = BellDiagonalState.werner(0.995)
+        state = teleport_state(data, epr, params)
+        scalar = teleportation_fidelity(0.999, 0.995, params)
+        assert state.fidelity == pytest.approx(scalar, rel=1e-3)
+
+    def test_composition_is_symmetric(self):
+        a = BellDiagonalState.werner(0.99)
+        b = BellDiagonalState.werner(0.98)
+        assert teleport_state(a, b, PERFECT_PARAMS).fidelity == pytest.approx(
+            teleport_state(b, a, PERFECT_PARAMS).fidelity
+        )
+
+    def test_x_errors_compose_by_group_structure(self):
+        # An X error on the forwarded pair and an X error on the link cancel.
+        a = BellDiagonalState(0.0, 1.0, 0.0, 0.0)
+        b = BellDiagonalState(0.0, 1.0, 0.0, 0.0)
+        out = teleport_state(a, b, PERFECT_PARAMS)
+        assert out.fidelity == pytest.approx(1.0)
+
+    def test_chained_state_matches_iterated_scalar(self):
+        params = IonTrapParameters.default()
+        link = BellDiagonalState.werner(0.999)
+        state = chained_teleport_state(link, [link] * 5, params)
+        scalar = chained_teleportation_fidelity(0.999, 5, 0.999, params)
+        assert state.fidelity == pytest.approx(scalar, rel=1e-3)
+
+
+class TestChained:
+    def test_zero_hops_is_identity(self):
+        assert chained_teleportation_fidelity(0.99, 0, 0.99) == pytest.approx(0.99)
+
+    def test_error_grows_with_hops(self):
+        series = chained_teleportation_series(1 - 1e-4, 64, 1 - 1e-4)
+        errors = [1 - f for f in series]
+        assert all(b >= a for a, b in zip(errors, errors[1:]))
+
+    def test_paper_factor_of_100_claim(self):
+        # 64 teleports at 1e-4 initial error increase error by roughly 100x.
+        final = chained_teleportation_fidelity(1 - 1e-4, 64, 1 - 1e-4)
+        amplification = (1 - final) / 1e-4
+        assert 30 <= amplification <= 150
+
+    def test_low_error_curves_floor_at_gate_error(self):
+        params = IonTrapParameters.default()
+        final = chained_teleportation_fidelity(1 - 1e-8, 64, 1 - 1e-8, params)
+        # Dominated by per-hop gate/measurement error, well above the input error.
+        assert (1 - final) > 1e-6
+        assert (1 - final) < 1e-4
+
+    def test_series_length(self):
+        assert len(chained_teleportation_series(0.999, 10, 0.999)) == 11
+
+    def test_rejects_negative_hops(self):
+        with pytest.raises(ConfigurationError):
+            chained_teleportation_fidelity(0.99, -1, 0.99)

@@ -1,0 +1,87 @@
+"""Property-based tests for the purification protocols and teleportation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.parameters import IonTrapParameters
+from repro.physics.purification import get_protocol
+from repro.physics.states import BellDiagonalState
+from repro.physics.teleportation import teleportation_fidelity
+
+params = IonTrapParameters.default()
+dejmps = get_protocol("dejmps", params)
+bbpssw = get_protocol("bbpssw", params)
+
+good_fidelities = st.floats(min_value=0.8, max_value=0.99999, allow_nan=False)
+fidelities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPurificationProperties:
+    @given(good_fidelities)
+    @settings(max_examples=60)
+    def test_one_round_improves_high_fidelity_werner_pairs(self, fidelity):
+        state = BellDiagonalState.werner(fidelity)
+        outcome = dejmps.purify_identical(state)
+        assert outcome.fidelity > fidelity - 1e-9 or outcome.fidelity > 0.99999
+
+    @given(good_fidelities)
+    @settings(max_examples=60)
+    def test_success_probability_is_a_probability(self, fidelity):
+        state = BellDiagonalState.werner(fidelity)
+        for protocol in (dejmps, bbpssw):
+            outcome = protocol.purify_identical(state)
+            assert 0.0 < outcome.success_probability <= 1.0
+
+    @given(good_fidelities)
+    @settings(max_examples=60)
+    def test_output_state_is_normalised(self, fidelity):
+        state = BellDiagonalState.werner(fidelity)
+        outcome = bbpssw.purify_identical(state)
+        assert abs(sum(outcome.state.coefficients) - 1.0) < 1e-6
+
+    @given(good_fidelities, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40)
+    def test_error_series_matches_iterate(self, fidelity, rounds):
+        state = BellDiagonalState.werner(fidelity)
+        series = dejmps.error_series(state, rounds)
+        assert len(series) == rounds + 1
+        if rounds:
+            outcomes = dejmps.iterate(state, rounds)
+            assert abs(series[-1] - outcomes[-1].error) < 1e-12
+
+    @given(good_fidelities)
+    @settings(max_examples=40)
+    def test_dejmps_floor_not_worse_than_bbpssw(self, fidelity):
+        state = BellDiagonalState.werner(fidelity)
+        assert dejmps.max_achievable_fidelity(state) >= bbpssw.max_achievable_fidelity(state) - 1e-9
+
+
+class TestTeleportationProperties:
+    @given(fidelities, fidelities)
+    @settings(max_examples=80)
+    def test_output_is_a_fidelity(self, f_data, f_epr):
+        out = teleportation_fidelity(f_data, f_epr, params)
+        assert 0.0 <= out <= 1.0
+
+    @given(
+        st.floats(min_value=0.25, max_value=1.0),
+        st.floats(min_value=0.25, max_value=1.0),
+        st.floats(min_value=0.25, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_monotone_in_epr_fidelity(self, f_data, f1, f2):
+        # Monotonicity in the EPR fidelity holds when the data state is no
+        # worse than maximally mixed (4F-1 >= 0), which is the physical regime.
+        lo, hi = sorted((f1, f2))
+        assert teleportation_fidelity(f_data, lo, params) <= (
+            teleportation_fidelity(f_data, hi, params) + 1e-12
+        )
+
+    @given(st.floats(min_value=0.25, max_value=1.0))
+    @settings(max_examples=60)
+    def test_never_better_than_perfect_epr(self, f_epr):
+        # Teleporting perfect data through an imperfect pair cannot beat
+        # teleporting it through a perfect pair.
+        imperfect = teleportation_fidelity(1.0, f_epr, params)
+        perfect = teleportation_fidelity(1.0, 1.0, params)
+        assert imperfect <= perfect + 1e-12

@@ -1,0 +1,119 @@
+"""Property-based tests for routing, layouts and the instruction scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.geometry import Coordinate
+from repro.network.routing import DimensionOrder, dimension_order_route
+from repro.sim.scheduler import InstructionScheduler
+from repro.workloads.instructions import InstructionStream
+
+coords = st.builds(
+    Coordinate,
+    x=st.integers(min_value=0, max_value=15),
+    y=st.integers(min_value=0, max_value=15),
+)
+
+
+class TestRoutingProperties:
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_path_length_equals_manhattan_distance(self, a, b):
+        path = dimension_order_route(a, b)
+        assert path.hops == a.manhattan(b)
+
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_path_endpoints(self, a, b):
+        path = dimension_order_route(a, b)
+        assert path.source == a and path.destination == b
+
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_consecutive_nodes_adjacent(self, a, b):
+        path = dimension_order_route(a, b)
+        for u, v in zip(path.nodes, path.nodes[1:]):
+            assert u.manhattan(v) == 1
+
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_at_most_one_turn(self, a, b):
+        path = dimension_order_route(a, b)
+        turns = 0
+        for prev_node, node, nxt in zip(path.nodes, path.nodes[1:], path.nodes[2:]):
+            before_dim = "x" if prev_node.y == node.y else "y"
+            after_dim = "x" if node.y == nxt.y else "y"
+            if before_dim != after_dim:
+                turns += 1
+        assert turns <= 1
+
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_xy_and_yx_have_same_length(self, a, b):
+        xy = dimension_order_route(a, b, order=DimensionOrder.XY)
+        yx = dimension_order_route(a, b, order=DimensionOrder.YX)
+        assert xy.hops == yx.hops
+
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_no_repeated_nodes(self, a, b):
+        path = dimension_order_route(a, b)
+        assert len(set(path.nodes)) == len(path.nodes)
+
+
+@st.composite
+def instruction_streams(draw):
+    """Random valid instruction streams over up to 12 qubits."""
+    num_qubits = draw(st.integers(min_value=2, max_value=12))
+    count = draw(st.integers(min_value=1, max_value=30))
+    pairs = []
+    for _ in range(count):
+        a = draw(st.integers(min_value=1, max_value=num_qubits))
+        offset = draw(st.integers(min_value=1, max_value=num_qubits - 1))
+        b = (a - 1 + offset) % num_qubits + 1
+        pairs.append((a, b))
+    return InstructionStream.from_pairs("random", num_qubits, pairs)
+
+
+class TestSchedulerProperties:
+    @given(instruction_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_every_stream_drains_without_deadlock(self, stream):
+        scheduler = InstructionScheduler(stream)
+        completed = []
+        while not scheduler.finished:
+            ready = scheduler.ready_operations()
+            assert ready, "deadlock: nothing ready but stream unfinished"
+            op = ready[0]
+            scheduler.mark_issued(op.index)
+            scheduler.mark_completed(op.index)
+            completed.append(op.index)
+        assert len(completed) == len(stream)
+        assert len(set(completed)) == len(stream)
+
+    @given(instruction_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_per_qubit_program_order_preserved(self, stream):
+        scheduler = InstructionScheduler(stream)
+        completion_order = {}
+        step = 0
+        while not scheduler.finished:
+            op = scheduler.ready_operations()[0]
+            scheduler.mark_issued(op.index)
+            scheduler.mark_completed(op.index)
+            completion_order[op.index] = step
+            step += 1
+        # For each qubit, operations must complete in program order.
+        last_seen = {}
+        for op in stream:
+            for qubit in op.qubits:
+                if qubit in last_seen:
+                    assert completion_order[last_seen[qubit]] < completion_order[op.index]
+                last_seen[qubit] = op.index
+
+    @given(instruction_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_wavefront_count_bounded_by_stream_length(self, stream):
+        fronts = stream.wavefronts()
+        assert sum(len(front) for front in fronts) == len(stream)
+        assert stream.critical_path_length() <= len(stream)

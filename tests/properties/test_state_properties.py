@@ -1,0 +1,87 @@
+"""Property-based tests for the Bell-diagonal state algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.states import BellDiagonalState
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_probabilities = st.floats(min_value=0.0, max_value=0.2, allow_nan=False)
+fidelities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+cells = st.integers(min_value=0, max_value=5000)
+
+
+@st.composite
+def bell_states(draw):
+    """Arbitrary valid Bell-diagonal states (renormalised random weights)."""
+    weights = [draw(st.floats(min_value=1e-6, max_value=1.0)) for _ in range(4)]
+    return BellDiagonalState.from_coefficients(weights)
+
+
+def assert_valid(state: BellDiagonalState) -> None:
+    assert abs(sum(state.coefficients) - 1.0) < 1e-6
+    assert all(c >= -1e-12 for c in state.coefficients)
+
+
+class TestChannelsPreserveValidity:
+    @given(bell_states(), probabilities)
+    def test_depolarize(self, state, p):
+        assert_valid(state.depolarize(p))
+
+    @given(bell_states(), probabilities)
+    def test_local_depolarize(self, state, p):
+        assert_valid(state.local_depolarize(p))
+
+    @given(bell_states(), probabilities)
+    def test_dephase_and_bit_flip(self, state, p):
+        assert_valid(state.dephase(p))
+        assert_valid(state.bit_flip(p))
+
+    @given(bell_states(), small_probabilities, cells)
+    def test_movement_decay(self, state, p, d):
+        assert_valid(state.movement_decay(p, d))
+
+    @given(bell_states(), bell_states(), probabilities)
+    def test_mix(self, a, b, w):
+        assert_valid(a.mix(b, w))
+
+
+class TestChannelsNeverImproveFidelity:
+    @given(bell_states(), probabilities)
+    def test_depolarize_never_above_original_when_above_quarter(self, state, p):
+        if state.fidelity >= 0.25:
+            assert state.depolarize(p).fidelity <= state.fidelity + 1e-12
+
+    @given(fidelities, small_probabilities, cells)
+    def test_movement_monotone_in_distance(self, f, p, d):
+        state = BellDiagonalState.werner(f)
+        nearer = state.movement_decay(p, d)
+        further = state.movement_decay(p, d + 100)
+        assert further.fidelity <= nearer.fidelity + 1e-12
+
+    @given(bell_states())
+    def test_twirl_preserves_fidelity(self, state):
+        assert abs(state.twirl().fidelity - state.fidelity) < 1e-12
+
+    @given(bell_states())
+    def test_sorted_errors_preserves_fidelity_and_mass(self, state):
+        result = state.sorted_errors()
+        assert abs(result.fidelity - state.fidelity) < 1e-12
+        assert abs(sum(result.coefficients) - 1.0) < 1e-9
+
+
+class TestComposition:
+    @given(bell_states(), small_probabilities, cells, cells)
+    @settings(max_examples=50)
+    def test_movement_composes_additively(self, state, p, d1, d2):
+        combined = state.movement_decay(p, d1 + d2)
+        chained = state.movement_decay(p, d1).movement_decay(p, d2)
+        assert abs(combined.fidelity - chained.fidelity) < 1e-9
+
+    @given(bell_states(), probabilities, probabilities)
+    @settings(max_examples=50)
+    def test_depolarize_order_irrelevant(self, state, p1, p2):
+        a = state.depolarize(p1).depolarize(p2)
+        b = state.depolarize(p2).depolarize(p1)
+        for x, y in zip(a.coefficients, b.coefficients):
+            assert abs(x - y) < 1e-9

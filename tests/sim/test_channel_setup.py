@@ -1,0 +1,73 @@
+"""Tests for the detailed per-pair channel setup simulation."""
+
+import pytest
+
+from repro.core.logical import STEANE_LEVEL_1
+from repro.network.geometry import Coordinate
+from repro.network.nodes import ResourceAllocation
+from repro.sim.channel_setup import DetailedChannelSetup
+from repro.sim.machine import QuantumMachine
+from repro.sim.qpurifier import QueuePurifierModel
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return QuantumMachine(8, allocation=ResourceAllocation(4, 4, 4), encoding=STEANE_LEVEL_1)
+
+
+@pytest.fixture(scope="module")
+def plan(machine):
+    return machine.planner.plan(Coordinate(0, 0), Coordinate(4, 3))
+
+
+class TestDetailedChannelSetup:
+    def test_produces_requested_good_pairs(self, machine, plan):
+        setup = DetailedChannelSetup(machine, plan, good_pairs_needed=7)
+        result = setup.run()
+        assert result.good_pairs_delivered == 7
+        assert result.raw_pairs_injected == 7 * (2 ** plan.budget.endpoint_rounds)
+
+    def test_teleports_scale_with_path_length_and_pairs(self, machine, plan):
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=4).run()
+        expected = 4 * (2 ** plan.budget.endpoint_rounds) * (plan.hops - 1)
+        assert result.teleports_performed == expected
+
+    def test_purifier_rounds_match_tree_accounting(self, machine, plan):
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=4).run()
+        rounds_per_pair = 2 ** plan.budget.endpoint_rounds - 1
+        assert result.purifier_rounds == 4 * rounds_per_pair
+
+    def test_pipelining_keeps_steady_period_below_first_pair_latency(self, machine, plan):
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=10).run()
+        assert result.steady_state_pair_period_us < result.first_good_pair_us
+
+    def test_more_purifiers_speed_up_production(self, plan):
+        slow_machine = QuantumMachine(8, allocation=ResourceAllocation(4, 4, 1), encoding=STEANE_LEVEL_1)
+        fast_machine = QuantumMachine(8, allocation=ResourceAllocation(4, 4, 8), encoding=STEANE_LEVEL_1)
+        slow_plan = slow_machine.planner.plan(Coordinate(0, 0), Coordinate(4, 3))
+        fast_plan = fast_machine.planner.plan(Coordinate(0, 0), Coordinate(4, 3))
+        slow = DetailedChannelSetup(slow_machine, slow_plan, good_pairs_needed=8).run()
+        fast = DetailedChannelSetup(fast_machine, fast_plan, good_pairs_needed=8).run()
+        assert fast.setup_time_us < slow.setup_time_us
+
+    def test_utilisation_maps_are_populated(self, machine, plan):
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=4).run()
+        assert len(result.generator_utilisation) == plan.hops
+        assert len(result.teleporter_utilisation) == plan.hops - 1
+        assert all(0.0 <= v <= 1.0 for v in result.generator_utilisation.values())
+
+    def test_throughput_roughly_matches_queue_purifier_model(self, machine, plan):
+        # With generous transport resources the endpoint purifier bank is the
+        # bottleneck, so the detailed steady-state period should be within a
+        # small factor of the closed-form queue-purifier period.
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=12).run()
+        model = QueuePurifierModel(
+            units=machine.allocation.purifiers_per_node,
+            depth=plan.budget.endpoint_rounds,
+            round_time_us=machine.params.times.purify_round(0.0),
+        )
+        assert result.steady_state_pair_period_us >= 0.8 * model.good_pair_period_us
+
+    def test_describe(self, machine, plan):
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=2).run()
+        assert "good pairs" in result.describe()

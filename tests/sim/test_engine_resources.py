@@ -1,0 +1,152 @@
+"""Tests for the discrete-event engine and resource primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine, Timer
+from repro.sim.resources import ResourcePool, ServiceCenter
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(5.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(10.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 10.0
+
+    def test_ties_break_by_priority_then_insertion(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("second"), priority=1)
+        engine.schedule(1.0, lambda: order.append("first"), priority=0)
+        engine.schedule(1.0, lambda: order.append("third"), priority=1)
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_run_until_stops_clock_at_bound(self):
+        engine = SimulationEngine()
+        engine.schedule(100.0, lambda: None)
+        engine.run(until=50.0)
+        assert engine.now == 50.0
+        assert engine.pending_events == 1
+
+    def test_max_events_bound(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run(max_events=3)
+        assert engine.processed_events == 3
+
+    def test_cancelled_event_is_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = SimulationEngine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(2.0, lambda: order.append("nested"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert order == ["first", "nested"]
+        assert engine.now == 3.0
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule(-1.0, lambda: None)
+
+    def test_timer_rearm_cancels_previous(self):
+        engine = SimulationEngine()
+        fired = []
+        timer = Timer(engine)
+        timer.start(1.0, lambda: fired.append("first"))
+        timer.start(2.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["second"]
+
+
+class TestResourcePool:
+    def test_grants_up_to_capacity_immediately(self):
+        engine = SimulationEngine()
+        pool = ResourcePool(engine, 2)
+        grants = []
+        pool.acquire(lambda: grants.append(1))
+        pool.acquire(lambda: grants.append(2))
+        pool.acquire(lambda: grants.append(3))
+        assert grants == [1, 2]
+        assert pool.queue_length == 1
+
+    def test_release_unblocks_waiter(self):
+        engine = SimulationEngine()
+        pool = ResourcePool(engine, 1)
+        grants = []
+        pool.acquire(lambda: grants.append("a"))
+        pool.acquire(lambda: grants.append("b"))
+        pool.release()
+        assert grants == ["a", "b"]
+
+    def test_release_without_acquire_raises(self):
+        engine = SimulationEngine()
+        pool = ResourcePool(engine, 1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            ResourcePool(SimulationEngine(), 0)
+
+
+class TestServiceCenter:
+    def test_serial_jobs_on_single_server(self):
+        engine = SimulationEngine()
+        center = ServiceCenter(engine, 1)
+        done = []
+        center.submit(10.0, lambda: done.append(engine.now))
+        center.submit(10.0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [10.0, 20.0]
+
+    def test_parallel_jobs_on_two_servers(self):
+        engine = SimulationEngine()
+        center = ServiceCenter(engine, 2)
+        done = []
+        center.submit(10.0, lambda: done.append(engine.now))
+        center.submit(10.0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [10.0, 10.0]
+
+    def test_utilisation_and_wait_statistics(self):
+        engine = SimulationEngine()
+        center = ServiceCenter(engine, 1)
+        for _ in range(4):
+            center.submit(5.0)
+        engine.run()
+        assert center.stats.jobs_served == 4
+        assert center.stats.utilisation(engine.now) == pytest.approx(1.0)
+        assert center.stats.mean_wait() == pytest.approx((0 + 5 + 10 + 15) / 4)
+
+    def test_throughput_per_us(self):
+        center = ServiceCenter(SimulationEngine(), 4)
+        assert center.throughput_per_us(122.0) == pytest.approx(4 / 122.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            ServiceCenter(SimulationEngine(), 1).submit(-1.0)

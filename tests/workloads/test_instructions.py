@@ -1,0 +1,103 @@
+"""Tests for instruction streams and dependency analysis."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.workloads.instructions import InstructionStream, TwoQubitOp
+
+
+def make_stream(pairs, num_qubits=8, name="test"):
+    return InstructionStream.from_pairs(name, num_qubits, pairs)
+
+
+class TestTwoQubitOp:
+    def test_touches(self):
+        op = TwoQubitOp(0, 1, 2)
+        assert op.touches(1) and op.touches(2) and not op.touches(3)
+
+    def test_rejects_same_qubit(self):
+        with pytest.raises(SchedulingError):
+            TwoQubitOp(0, 3, 3)
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(SchedulingError):
+            TwoQubitOp(0, 0, 1)
+
+
+class TestStreamBasics:
+    def test_from_pairs_assigns_indices(self):
+        stream = make_stream([(1, 2), (2, 3)])
+        assert [op.index for op in stream] == [0, 1]
+        assert len(stream) == 2
+
+    def test_qubits_used(self):
+        stream = make_stream([(1, 2), (5, 6)])
+        assert stream.qubits_used() == {1, 2, 5, 6}
+
+    def test_rejects_out_of_range_qubits(self):
+        with pytest.raises(SchedulingError):
+            make_stream([(1, 9)], num_qubits=8)
+
+    def test_rejects_single_qubit_machine(self):
+        with pytest.raises(SchedulingError):
+            InstructionStream("x", 1, [])
+
+    def test_extended_concatenates_and_reindexes(self):
+        a = make_stream([(1, 2)])
+        b = make_stream([(3, 4)])
+        combined = a.extended(b)
+        assert len(combined) == 2
+        assert combined[1].index == 1
+        assert combined[1].qubits == (3, 4)
+
+    def test_communication_matrix(self):
+        stream = make_stream([(1, 2), (2, 1), (3, 4)])
+        matrix = stream.communication_matrix()
+        assert matrix[(1, 2)] == 2
+        assert matrix[(3, 4)] == 1
+
+    def test_describe(self):
+        assert "2 ops" in make_stream([(1, 2), (3, 4)]).describe()
+
+
+class TestDependencies:
+    def test_independent_ops_have_no_dependencies(self):
+        stream = make_stream([(1, 2), (3, 4)])
+        deps = stream.dependencies()
+        assert deps[0] == set() and deps[1] == set()
+
+    def test_shared_qubit_creates_dependency(self):
+        stream = make_stream([(1, 2), (2, 3)])
+        assert stream.dependencies()[1] == {0}
+
+    def test_dependency_is_most_recent_toucher(self):
+        stream = make_stream([(1, 2), (2, 3), (3, 4)])
+        assert stream.dependencies()[2] == {1}
+
+    def test_dependents_inverse_of_dependencies(self):
+        stream = make_stream([(1, 2), (2, 3), (1, 4)])
+        assert stream.dependents()[0] == {1, 2}
+
+    def test_wavefronts_respect_dependencies(self):
+        stream = make_stream([(1, 2), (2, 3), (3, 4), (5, 6)])
+        fronts = stream.wavefronts()
+        assert [op.qubits for op in fronts[0]] == [(1, 2), (5, 6)]
+        assert [op.qubits for op in fronts[1]] == [(2, 3)]
+        assert [op.qubits for op in fronts[2]] == [(3, 4)]
+
+    def test_paper_qft_wavefront_listing(self):
+        # The paper's example: 1-2, 1-3, (1-4, 2-3), (1-5, 2-4), (1-6, 2-5, 3-4).
+        from repro.workloads.qft import qft_stream
+
+        fronts = qft_stream(6).wavefronts()
+        as_pairs = [[op.qubits for op in front] for front in fronts[:5]]
+        assert as_pairs[0] == [(1, 2)]
+        assert as_pairs[1] == [(1, 3)]
+        assert as_pairs[2] == [(1, 4), (2, 3)]
+        assert as_pairs[3] == [(1, 5), (2, 4)]
+        assert as_pairs[4] == [(1, 6), (2, 5), (3, 4)]
+
+    def test_critical_path_and_parallelism(self):
+        stream = make_stream([(1, 2), (2, 3), (3, 4), (5, 6)])
+        assert stream.critical_path_length() == 3
+        assert stream.max_parallelism() == 2

@@ -1,0 +1,140 @@
+"""Tests for the QFT, MM, ME, Shor and synthetic workload generators."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.workloads.modexp import modular_exponentiation_stream
+from repro.workloads.modmult import bipartite_pairs, modular_multiplication_stream
+from repro.workloads.qft import qft_operation_count, qft_pairs, qft_stream
+from repro.workloads.shor import shor_kernel_streams, shor_stream
+from repro.workloads.synthetic import (
+    all_to_all_stream,
+    nearest_neighbour_stream,
+    permutation_stream,
+    random_stream,
+)
+
+
+class TestQFT:
+    def test_operation_count(self):
+        assert qft_operation_count(16) == 120
+        assert len(qft_stream(16)) == 120
+        assert qft_operation_count(256) == 32640
+
+    def test_all_pairs_present_exactly_once(self):
+        pairs = qft_pairs(8)
+        assert len(pairs) == len(set(pairs)) == 28
+        assert all(a < b for a, b in pairs)
+
+    def test_every_qubit_interacts_with_every_other(self):
+        stream = qft_stream(6)
+        matrix = stream.communication_matrix()
+        for i in range(1, 7):
+            for j in range(i + 1, 7):
+                assert matrix[(i, j)] == 1
+
+    def test_ordering_by_wavefront(self):
+        pairs = qft_pairs(6)
+        sums = [a + b for a, b in pairs]
+        assert sums == sorted(sums)
+
+    def test_critical_path_scales_linearly(self):
+        # All-to-all with per-qubit serialisation has a ~2n critical path.
+        stream = qft_stream(12)
+        assert 2 * 12 - 3 <= stream.critical_path_length() <= 2 * 12
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(SchedulingError):
+            qft_stream(1)
+
+
+class TestModMult:
+    def test_bipartite_pairs_cover_product(self):
+        pairs = bipartite_pairs([1, 2, 3], [4, 5])
+        assert len(pairs) == 6
+        assert len(set(pairs)) == 6
+
+    def test_no_intra_register_communication(self):
+        stream = modular_multiplication_stream(10)
+        for op in stream:
+            assert (op.qubit_a <= 5) != (op.qubit_b <= 5)
+
+    def test_rejects_overlapping_sets(self):
+        with pytest.raises(SchedulingError):
+            bipartite_pairs([1, 2], [2, 3])
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(SchedulingError):
+            bipartite_pairs([], [1])
+
+    def test_interleaving_gives_parallelism(self):
+        stream = modular_multiplication_stream(16)
+        assert stream.max_parallelism() >= 4
+
+
+class TestModExp:
+    def test_contains_both_phases(self):
+        stream = modular_exponentiation_stream(8, steps=1)
+        squaring_ops = [op for op in stream if op.qubit_a <= 4 and op.qubit_b <= 4]
+        bipartite_ops = [op for op in stream if (op.qubit_a <= 4) != (op.qubit_b <= 4)]
+        assert squaring_ops and bipartite_ops
+
+    def test_steps_multiply_length(self):
+        one = modular_exponentiation_stream(8, steps=1)
+        two = modular_exponentiation_stream(8, steps=2)
+        assert len(two) == 2 * len(one)
+
+    def test_rejects_too_few_qubits(self):
+        with pytest.raises(SchedulingError):
+            modular_exponentiation_stream(3)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(SchedulingError):
+            modular_exponentiation_stream(8, steps=0)
+
+
+class TestShor:
+    def test_kernels_present(self):
+        kernels = shor_kernel_streams(8)
+        assert set(kernels) == {"qft", "modexp", "modmult"}
+
+    def test_composed_stream_length(self):
+        kernels = shor_kernel_streams(8)
+        total = sum(len(s) for s in kernels.values())
+        assert len(shor_stream(8)) == total
+
+    def test_composed_stream_name(self):
+        assert shor_stream(8).name == "shor_8"
+
+
+class TestSynthetic:
+    def test_all_to_all_matches_qft_pairs(self):
+        assert len(all_to_all_stream(10)) == len(qft_stream(10))
+
+    def test_nearest_neighbour_brick_wall(self):
+        stream = nearest_neighbour_stream(8, rounds=2)
+        assert len(stream) == 2 * 7
+        assert all(abs(op.qubit_a - op.qubit_b) == 1 for op in stream)
+
+    def test_permutation_each_qubit_once(self):
+        stream = permutation_stream(10, seed=3)
+        counts = {}
+        for op in stream:
+            for qubit in op.qubits:
+                counts[qubit] = counts.get(qubit, 0) + 1
+        assert all(count == 1 for count in counts.values())
+
+    def test_random_stream_is_deterministic_per_seed(self):
+        a = random_stream(10, 20, seed=7)
+        b = random_stream(10, 20, seed=7)
+        assert [op.qubits for op in a] == [op.qubits for op in b]
+
+    def test_random_stream_respects_qubit_range(self):
+        stream = random_stream(5, 50, seed=1)
+        assert all(1 <= q <= 5 for op in stream for q in op.qubits)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SchedulingError):
+            nearest_neighbour_stream(1)
+        with pytest.raises(SchedulingError):
+            random_stream(4, 0)
