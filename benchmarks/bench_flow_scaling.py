@@ -1,0 +1,133 @@
+"""Flow-core scaling: incremental vs from-scratch max-min allocation.
+
+The seed allocator recomputed every flow's max-min fair rate from scratch over
+every flow and resource on every start/completion event — O(flows² ·
+resources) per event.  The rebuilt core maintains a persistent resource→flows
+index so each progressive-filling iteration walks only the flows registered
+on each resource, with demand sums cached between iterations.  This benchmark
+pins down the two claims that matter:
+
+* **speed** — ≥5x faster on a Home Base contention scenario with 64
+  concurrent channels (the regime Figure 16's big grids live in);
+* **fidelity** — makespans identical to the from-scratch allocator (±1e-6 us)
+  on the Figure 16 benchmark configurations and on Figure 9-style chained
+  long-distance channels.
+
+Run with:  pytest benchmarks/bench_flow_scaling.py --benchmark-only -s
+"""
+
+import time
+
+from repro.analysis.fig16 import allocation_for_ratio
+from repro.network.geometry import Coordinate
+from repro.network.layout import CommRequest
+from repro.network.nodes import ResourceAllocation
+from repro.sim.control import PlannedCommunication
+from repro.sim.engine import SimulationEngine
+from repro.sim.flow import FlowTransport
+from repro.sim.machine import QuantumMachine
+from repro.sim.simulator import CommunicationSimulator
+from repro.workloads.qft import qft_stream
+from repro.workloads.synthetic import permutation_stream
+
+#: Contention scenario: 128 logical qubits on a 12x12 Home Base grid, one
+#: random perfect matching => 64 independent operations, each holding one
+#: channel at a time => 64 concurrent channels crossing the mesh centre.
+CONTENTION_GRID = 12
+CONTENTION_QUBITS = 128
+CONTENTION_ALLOCATION = ResourceAllocation(2, 2, 1)
+
+MAKESPAN_TOLERANCE_US = 1e-6
+REQUIRED_SPEEDUP = 5.0
+
+
+def _contention_run(allocator):
+    machine = QuantumMachine(
+        CONTENTION_GRID,
+        num_qubits=CONTENTION_QUBITS,
+        allocation=CONTENTION_ALLOCATION,
+        layout="home_base",
+    )
+    stream = permutation_stream(CONTENTION_QUBITS)
+    return CommunicationSimulator(machine, allocator=allocator).run(stream)
+
+
+def test_incremental_allocator_speedup_on_64_channels(benchmark):
+    start = time.perf_counter()
+    reference = _contention_run("reference")
+    reference_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    incremental = benchmark.pedantic(_contention_run, args=("incremental",), rounds=1, iterations=1)
+    incremental_elapsed = time.perf_counter() - start
+
+    speedup = reference_elapsed / incremental_elapsed
+    print(
+        f"\n64-channel contention ({CONTENTION_GRID}x{CONTENTION_GRID} Home Base, "
+        f"{CONTENTION_QUBITS} qubits, {CONTENTION_ALLOCATION.label}):"
+    )
+    print(
+        f"  reference : {reference_elapsed:7.2f}s  makespan={reference.makespan_us:.6f} us\n"
+        f"  incremental: {incremental_elapsed:6.2f}s  makespan={incremental.makespan_us:.6f} us\n"
+        f"  speedup   : {speedup:7.1f}x"
+    )
+    # The scenario really does keep 64 channels in flight.
+    assert incremental.max_concurrent_channels() == 64
+    # Same fluid dynamics, just computed incrementally.
+    assert abs(incremental.makespan_us - reference.makespan_us) <= MAKESPAN_TOLERANCE_US
+    assert incremental.channel_count == reference.channel_count
+    # The headline: the rebuilt core is at least 5x faster under contention.
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_allocators_agree_on_fig16_benchmark_configs():
+    """Figure 16 sweep configurations: identical makespans (±1e-6 us)."""
+    stream = qft_stream(36)
+    print("\nFigure 16 configs (6x6 QFT):")
+    for layout in ("home_base", "mobile_qubit"):
+        for ratio in (1, 4, 8):
+            allocation = allocation_for_ratio(ratio, 18)
+            makespans = {}
+            for allocator in ("reference", "incremental"):
+                machine = QuantumMachine(6, allocation=allocation, layout=layout)
+                makespans[allocator] = (
+                    CommunicationSimulator(machine, allocator=allocator)
+                    .run(stream)
+                    .makespan_us
+                )
+            difference = abs(makespans["incremental"] - makespans["reference"])
+            print(
+                f"  {layout:13s} ratio={ratio}  makespan={makespans['incremental']:.3f} us  "
+                f"|diff|={difference:.3e} us"
+            )
+            assert difference <= MAKESPAN_TOLERANCE_US
+
+
+def test_allocators_agree_on_fig9_style_chained_channels():
+    """Figure 9-style chained teleportation: staggered 64-hop channels."""
+    machine = QuantumMachine(33, allocation=ResourceAllocation(2, 2, 1))
+    # Eight long corner-to-corner channels sharing the mesh spine, started at
+    # staggered times so flows join and leave an already-allocated system.
+    specs = []
+    for i in range(8):
+        source = Coordinate(0, i)
+        dest = Coordinate(32, 32 - i)
+        specs.append((source, dest, 1000.0 * i))
+    finals = {}
+    for allocator in ("reference", "incremental"):
+        engine = SimulationEngine()
+        transport = FlowTransport(engine, machine, allocator=allocator)
+        for qubit, (source, dest, delay) in enumerate(specs):
+            plan = machine.planner.plan(source, dest)
+            planned = PlannedCommunication(
+                request=CommRequest(source=source, dest=dest, qubit=qubit), plan=plan
+            )
+            engine.schedule(delay, lambda p=planned: transport.start(p, lambda: None))
+        engine.run()
+        finals[allocator] = (engine.now, len(transport.records))
+    print(
+        f"\nChained 64-hop channels: makespan={finals['incremental'][0]:.3f} us, "
+        f"|diff|={abs(finals['incremental'][0] - finals['reference'][0]):.3e} us"
+    )
+    assert finals["incremental"][1] == finals["reference"][1] == len(specs)
+    assert abs(finals["incremental"][0] - finals["reference"][0]) <= MAKESPAN_TOLERANCE_US

@@ -11,6 +11,8 @@ distribution networks for ion-trap quantum computers.  The package is layered:
 * :mod:`repro.sim` — the event-driven communication simulator.
 * :mod:`repro.workloads` — QFT / Shor-kernel instruction streams.
 * :mod:`repro.analysis` — regeneration of every table and figure in the paper.
+* :mod:`repro.runtime` — parallel experiment runner, on-disk result cache and
+  the ``python -m repro`` command-line entry point.
 
 Quickstart::
 

@@ -81,6 +81,7 @@ def run_configuration(
     num_qubits: Optional[int] = None,
     params: Optional[IonTrapParameters] = None,
     logical_gate_us: float = 300.0,
+    allocator: str = "incremental",
 ) -> SimulationResult:
     """Simulate the QFT on one (layout, allocation) configuration."""
     machine = QuantumMachine(
@@ -93,7 +94,7 @@ def run_configuration(
     )
     qubits = num_qubits or (grid_side * grid_side)
     stream = qft_stream(qubits)
-    return CommunicationSimulator(machine).run(stream)
+    return CommunicationSimulator(machine, allocator=allocator).run(stream)
 
 
 def figure16(

@@ -14,7 +14,8 @@ from .experiments import EXPERIMENTS, Experiment
 from .series import FigureData, TableData
 
 
-def _render_artifact(artifact: object, *, max_points: int = 8) -> str:
+def render_artifact(artifact: object, *, max_points: int = 8) -> str:
+    """Render one experiment artefact (table, figure or raw object) as text."""
     if isinstance(artifact, TableData):
         return artifact.render()
     if isinstance(artifact, FigureData):
@@ -41,25 +42,35 @@ def run_experiments(
     return results
 
 
+def render_report(pairs: Sequence[tuple], *, max_points: int = 8) -> str:
+    """Render (experiment, artifact) pairs as the full text report."""
+    lines = [
+        "Reproduction report: Interconnection Networks for Scalable Quantum Computers",
+        "=" * 78,
+    ]
+    for experiment, artifact in pairs:
+        lines.append("")
+        lines.append(f"[{experiment.identifier}] {experiment.description}")
+        lines.append(f"paper expectation: {experiment.expectation}")
+        lines.append("-" * 78)
+        lines.append(render_artifact(artifact, max_points=max_points))
+    lines.append("")
+    lines.append(
+        "See EXPERIMENTS.md for the paper-vs-measured comparison of every artefact."
+    )
+    return "\n".join(lines)
+
+
 def reproduction_report(
     identifiers: Optional[Sequence[str]] = None,
     *,
     include_heavy: bool = False,
     max_points: int = 8,
 ) -> str:
-    """Render the full reproduction report as text."""
-    lines = [
-        "Reproduction report: Interconnection Networks for Scalable Quantum Computers",
-        "=" * 78,
-    ]
-    for experiment, artifact in run_experiments(identifiers, include_heavy=include_heavy):
-        lines.append("")
-        lines.append(f"[{experiment.identifier}] {experiment.description}")
-        lines.append(f"paper expectation: {experiment.expectation}")
-        lines.append("-" * 78)
-        lines.append(_render_artifact(artifact, max_points=max_points))
-    lines.append("")
-    lines.append(
-        "See EXPERIMENTS.md for the paper-vs-measured comparison of every artefact."
-    )
-    return "\n".join(lines)
+    """Render the full reproduction report as text (serial, uncached).
+
+    ``python -m repro report`` produces the same report through the parallel,
+    cached :class:`repro.runtime.ExperimentRunner`.
+    """
+    pairs = run_experiments(identifiers, include_heavy=include_heavy)
+    return render_report(pairs, max_points=max_points)

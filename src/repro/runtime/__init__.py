@@ -1,0 +1,26 @@
+"""Execution runtime: parallel experiment running, caching and the CLI.
+
+The analysis layer defines *what* each figure is; this package is *how* they
+get executed at scale — an :class:`ExperimentRunner` that fans sweeps out
+across a ``multiprocessing`` pool, a :class:`ResultCache` that memoizes every
+point on disk under a parameter hash, and the ``python -m repro`` command-line
+entry point built on both.
+"""
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    default_cache_dir,
+    parameter_hash,
+    source_fingerprint,
+)
+from .runner import ExperimentRunner
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ExperimentRunner",
+    "ResultCache",
+    "default_cache_dir",
+    "parameter_hash",
+    "source_fingerprint",
+]

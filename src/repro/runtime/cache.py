@@ -1,0 +1,146 @@
+"""On-disk result cache keyed by parameter hash.
+
+Sweep points are pure functions of their parameters, so their results can be
+memoized across processes and runs.  Values are pickled to one file per key
+under a cache directory; writes are atomic (temp file + rename) so a crashed
+or parallel writer never leaves a truncated entry behind, and unreadable
+entries are treated as misses and discarded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Iterator, Optional
+
+#: Bump when cached artefact layouts change incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _canonicalise(value: Any) -> Any:
+    """Reduce a parameter structure to a deterministic, hashable form."""
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted((str(k), _canonicalise(v)) for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_canonicalise(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonicalise(v)) for v in value)))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            (f.name, _canonicalise(getattr(value, f.name))) for f in dataclasses.fields(value)
+        )
+        return ("dataclass", type(value).__qualname__, fields)
+    if isinstance(value, (str, bytes, int, float, bool)) or value is None:
+        return value
+    # Fall back to repr for anything else (enums, coordinates, ...); reprs in
+    # this codebase are stable and value-based.
+    return ("repr", type(value).__qualname__, repr(value))
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of the ``repro`` package's source files.
+
+    Cached results are only valid for the code that produced them, so the
+    runner folds this into every cache key: editing any module under
+    ``src/repro`` invalidates all previously cached artefacts instead of
+    silently serving stale ones.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, package_root).encode("utf-8"))
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
+def parameter_hash(params: Any) -> str:
+    """Stable short hash of an arbitrary parameter structure."""
+    canonical = repr((CACHE_SCHEMA_VERSION, _canonicalise(params)))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+def default_cache_dir() -> str:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """A directory of pickled results, one file per parameter hash."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        for name in os.listdir(self.directory):
+            if name.endswith(".pkl"):
+                yield name[: -len(".pkl")]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load a cached value; corrupt or missing entries return ``default``."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return default
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError, OSError):
+            # A truncated or stale entry is a miss; drop it so the slot heals.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return default
+
+    def put(self, key: str, value: Any) -> str:
+        """Atomically store a value; returns the entry's path."""
+        path = self.path_for(key)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                os.remove(self.path_for(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,145 @@
+"""``python -m repro`` — reproduce the paper's figures and tables.
+
+Subcommands
+-----------
+
+``list``
+    Show every registered experiment with its kind and description.
+``run [IDENTIFIER ...]``
+    Regenerate specific artefacts (default: all light ones) and print them.
+``report``
+    Print the full reproduction report.
+
+``run`` and ``report`` execute through :class:`repro.runtime.ExperimentRunner`,
+so independent experiments run across a process pool and results are cached on
+disk — a second invocation prints instantly.  ``--no-cache`` recomputes
+without touching the cache, ``--force`` recomputes and refreshes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from .runner import ExperimentRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables and figures of the ISCA 2006 "
+        "quantum-interconnect paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    for name, help_text in (
+        ("run", "regenerate one or more artefacts and print them"),
+        ("report", "print the full reproduction report"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        if name == "run":
+            sub.add_argument(
+                "identifiers",
+                nargs="*",
+                metavar="IDENTIFIER",
+                help="experiments to run (default: all light experiments)",
+            )
+        sub.add_argument(
+            "--heavy",
+            action="store_true",
+            help="include heavy experiments (full contention sweeps)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="process-pool size (default: one per CPU, capped by task count)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute everything; do not read or write the cache",
+        )
+        sub.add_argument(
+            "--force",
+            action="store_true",
+            help="recompute everything but refresh the cache with the results",
+        )
+        sub.add_argument(
+            "--points",
+            type=int,
+            default=8,
+            metavar="N",
+            help="x-samples printed per figure series (default: 8)",
+        )
+    return parser
+
+
+def _runner_from(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _cmd_list() -> int:
+    from ..analysis.experiments import EXPERIMENTS
+
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, experiment in EXPERIMENTS.items():
+        heavy = "  [heavy]" if experiment.heavy else ""
+        print(f"{name:{width}s}  {experiment.kind:6s}  {experiment.description}{heavy}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from ..analysis.experiments import get_experiment
+    from ..analysis.report import render_artifact
+
+    identifiers: Optional[List[str]] = args.identifiers or None
+    runner = _runner_from(args)
+    results = runner.run(identifiers, include_heavy=args.heavy, force=args.force)
+    for identifier, artifact in results.items():
+        experiment = get_experiment(identifier)
+        print(f"[{identifier}] {experiment.description}")
+        print(render_artifact(artifact, max_points=args.points))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..analysis.experiments import get_experiment
+    from ..analysis.report import render_report
+
+    runner = _runner_from(args)
+    results = runner.run(include_heavy=args.heavy, force=args.force)
+    pairs = [(get_experiment(identifier), artifact) for identifier, artifact in results.items()]
+    print(render_report(pairs, max_points=args.points))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

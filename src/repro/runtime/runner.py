@@ -1,0 +1,186 @@
+"""Parallel experiment execution with on-disk result caching.
+
+:class:`ExperimentRunner` drives the figure/table registry in
+:mod:`repro.analysis.experiments` and arbitrary parameter sweeps across a
+``multiprocessing`` pool.  Every unit of work is addressed by a parameter
+hash, so re-running a sweep only executes the points that are not already on
+disk — regenerating all figures a second time is effectively free, and a
+killed sweep resumes where it stopped.
+
+Work is shipped to workers as (module, qualname, params) triples rather than
+pickled callables, which keeps lambdas and bound methods out of the pool and
+the tasks byte-cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .cache import ResultCache, parameter_hash, source_fingerprint
+
+
+def _resolve(module_name: str, qualname: str) -> Callable[..., Any]:
+    target: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def _execute_call(task: Tuple[str, str, Dict[str, Any]]) -> Any:
+    """Pool worker: import the callable and run it (module-level, picklable)."""
+    module_name, qualname, params = task
+    return _resolve(module_name, qualname)(**params)
+
+
+def _execute_experiment(identifier: str) -> Any:
+    """Pool worker: run one registry experiment by identifier."""
+    from ..analysis.experiments import get_experiment
+
+    return get_experiment(identifier).run()
+
+
+def _callable_path(func: Callable[..., Any]) -> Tuple[str, str]:
+    """(module, qualname) of a function, rejecting unimportable callables."""
+    module_name = getattr(func, "__module__", None)
+    qualname = getattr(func, "__qualname__", None)
+    if not module_name or not qualname or "<" in qualname:
+        raise ConfigurationError(
+            f"sweep functions must be importable module-level callables, got {func!r}"
+        )
+    return module_name, qualname
+
+
+class ExperimentRunner:
+    """Runs experiments and sweeps over a process pool with caching.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Defaults to ``min(len(tasks), cpu_count)``; with one
+        worker (or one task) everything runs in-process, which keeps
+        single-core machines and debuggers happy.
+    cache_dir:
+        Where results are stored.  ``None`` uses ``$REPRO_CACHE_DIR`` or
+        ``./.repro-cache``.
+    use_cache:
+        Disable to always recompute and never write to disk.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache: Optional[ResultCache] = ResultCache(cache_dir) if use_cache else None
+
+    # -- generic machinery ----------------------------------------------------------
+
+    def _pool_size(self, task_count: int) -> int:
+        if task_count <= 1:
+            return 1
+        workers = self.workers or os.cpu_count() or 1
+        return max(1, min(workers, task_count))
+
+    def _execute(self, worker: Callable[[Any], Any], tasks: List[Any]) -> List[Any]:
+        """Run ``worker`` over ``tasks``, in-process or across a pool."""
+        pool_size = self._pool_size(len(tasks))
+        if pool_size == 1:
+            return [worker(task) for task in tasks]
+        with multiprocessing.Pool(processes=pool_size) as pool:
+            return pool.map(worker, tasks)
+
+    def _run_keyed(
+        self,
+        worker: Callable[[Any], Any],
+        keyed_tasks: List[Tuple[str, Any]],
+        *,
+        force: bool,
+    ) -> Dict[str, Any]:
+        """Run (cache_key, task) pairs, satisfying what it can from the cache."""
+        results: Dict[str, Any] = {}
+        misses: List[Tuple[str, Any]] = []
+        missing_keys = set()
+        sentinel = object()
+        for key, task in keyed_tasks:
+            if self.cache is not None and not force:
+                hit = self.cache.get(key, sentinel)
+                if hit is not sentinel:
+                    results[key] = hit
+                    continue
+            if key not in results and key not in missing_keys:
+                missing_keys.add(key)
+                misses.append((key, task))
+        if misses:
+            computed = self._execute(worker, [task for _, task in misses])
+            for (key, _), value in zip(misses, computed):
+                if self.cache is not None:
+                    self.cache.put(key, value)
+                results[key] = value
+        return results
+
+    # -- registry experiments ---------------------------------------------------------
+
+    def run(
+        self,
+        identifiers: Optional[Sequence[str]] = None,
+        *,
+        include_heavy: bool = False,
+        force: bool = False,
+    ) -> Dict[str, Any]:
+        """Run registry experiments; returns ``{identifier: artifact}``.
+
+        ``identifiers=None`` runs every registered experiment (heavy ones only
+        when ``include_heavy``).  Cached artefacts are returned without
+        recomputation unless ``force`` is set.
+        """
+        from ..analysis.experiments import get_experiment, list_experiments
+
+        if identifiers is None:
+            identifiers = list_experiments(include_heavy=include_heavy)
+        identifiers = list(identifiers)
+        for identifier in identifiers:
+            get_experiment(identifier)  # validate before spawning workers
+        # Keys include the source fingerprint: editing the package invalidates
+        # previously cached artefacts instead of silently serving stale ones.
+        source = source_fingerprint()
+        keyed = [
+            (parameter_hash({"experiment": identifier, "source": source}), identifier)
+            for identifier in identifiers
+        ]
+        by_key = self._run_keyed(_execute_experiment, keyed, force=force)
+        return {identifier: by_key[key] for key, identifier in keyed}
+
+    # -- parameter sweeps ---------------------------------------------------------------
+
+    def sweep(
+        self,
+        func: Callable[..., Any],
+        param_grid: Sequence[Dict[str, Any]],
+        *,
+        force: bool = False,
+    ) -> List[Any]:
+        """Run ``func(**params)`` for every point of ``param_grid``.
+
+        ``func`` must be an importable module-level callable (workers re-import
+        it by name).  Results come back in grid order; each point is cached
+        under the hash of (function, params).
+        """
+        module_name, qualname = _callable_path(func)
+        source = source_fingerprint()
+        keyed = []
+        for params in param_grid:
+            key = parameter_hash(
+                {"func": f"{module_name}:{qualname}", "params": params, "source": source}
+            )
+            keyed.append((key, (module_name, qualname, dict(params))))
+        by_key = self._run_keyed(_execute_call, keyed, force=force)
+        return [by_key[key] for key, _ in keyed]

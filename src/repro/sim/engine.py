@@ -143,7 +143,14 @@ class Timer:
     def start(self, delay: float, callback: Callable[[], None]) -> None:
         """(Re)arm the timer; any previously armed timer is cancelled."""
         self.cancel()
-        self._event = self._engine.schedule(delay, callback)
+
+        def _fire() -> None:
+            # Disarm before invoking so ``armed`` is accurate inside the
+            # callback and a callback may re-arm the timer.
+            self._event = None
+            callback()
+
+        self._event = self._engine.schedule(delay, _fire)
 
     def cancel(self) -> None:
         if self._event is not None:

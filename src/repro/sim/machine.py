@@ -10,7 +10,7 @@ flow model shares between concurrent channels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.logical import LogicalQubitEncoding, STEANE_LEVEL_2
 from ..core.placement import PurificationPlacement, endpoint_only
@@ -41,6 +41,26 @@ class MachineConfig:
             f"{self.width}x{self.height} {self.layout_name} "
             f"{self.allocation.label}"
         )
+
+
+@dataclass(frozen=True)
+class FlowDemandProfile:
+    """Per-hop-count work quantities of one logical communication.
+
+    Every quantity the fluid transport charges to a resource depends only on
+    the channel's hop count (the path decides *which* resources, not *how
+    much*), so the profile is memoized per distance and shared by all flows
+    of the same length.  Work is expressed in server-microseconds.
+    """
+
+    hops: int
+    pairs: float
+    good_pairs: int
+    swap_work: float  # teleporter work per intermediate T' node
+    generator_work: float  # generator work per traversed virtual-wire link
+    purifier_work: float  # queue-purifier work per endpoint
+    data_teleport_work: float  # endpoint teleporter work per endpoint
+    floor_us: float  # latency floor: setup pipeline + data teleport
 
 
 class QuantumMachine:
@@ -82,6 +102,7 @@ class QuantumMachine:
             encoding=encoding,
             order=routing_order,
         )
+        self._flow_profiles: Dict[int, FlowDemandProfile] = {}
 
     # -- constructors --------------------------------------------------------------
 
@@ -162,3 +183,32 @@ class QuantumMachine:
         """Latency of teleporting the data qubits once the channel is up."""
         distance_cells = hops * self.params.cells_per_hop
         return self.params.times.teleport(distance_cells)
+
+    def flow_profile(self, hops: int) -> FlowDemandProfile:
+        """Memoized per-distance work quantities for the fluid flow model.
+
+        Building a flow's demand vector only needs these scalars plus the
+        path coordinates, so memoizing them turns demand construction into a
+        cheap per-node dictionary fill (the EPR budget behind them is the
+        expensive part).
+        """
+        profile = self._flow_profiles.get(hops)
+        if profile is None:
+            times = self.params.times
+            pairs = self.pairs_per_logical_communication(hops)
+            good_pairs = self.good_pairs_per_logical_communication()
+            swap_time = times.teleport(0.0)
+            profile = FlowDemandProfile(
+                hops=hops,
+                pairs=pairs,
+                good_pairs=good_pairs,
+                swap_work=pairs * swap_time,
+                generator_work=pairs * times.generate,
+                purifier_work=good_pairs
+                * self.purifier_rounds_per_good_pair(hops)
+                * times.purify_round(0.0),
+                data_teleport_work=good_pairs * swap_time,
+                floor_us=self.channel_setup_floor_us(hops) + self.data_teleport_us(hops),
+            )
+            self._flow_profiles[hops] = profile
+        return profile

@@ -38,10 +38,17 @@ class _OpState:
 
 
 class CommunicationSimulator:
-    """Runs instruction streams on a quantum machine and reports runtime."""
+    """Runs instruction streams on a quantum machine and reports runtime.
 
-    def __init__(self, machine: QuantumMachine) -> None:
+    ``allocator`` selects the flow transport's rate allocator: the default
+    ``"incremental"`` recomputes only the affected component of flows on each
+    event, ``"reference"`` recomputes every rate from scratch (the original,
+    much slower behaviour kept as a correctness oracle).
+    """
+
+    def __init__(self, machine: QuantumMachine, *, allocator: str = "incremental") -> None:
         self.machine = machine
+        self.allocator = allocator
 
     def run(
         self,
@@ -56,7 +63,7 @@ class CommunicationSimulator:
                 f"has only {self.machine.num_qubits}"
             )
         engine = SimulationEngine()
-        transport = FlowTransport(engine, self.machine)
+        transport = FlowTransport(engine, self.machine, allocator=self.allocator)
         control = ControlUnit(self.machine)
         control.reset()
         scheduler = InstructionScheduler(stream)

@@ -1,0 +1,128 @@
+"""Property-based tests for the fluid transport's max-min fairness invariants.
+
+Random concurrent channel mixes are pushed through :class:`FlowTransport` and
+the fairness invariants are checked after *every* event:
+
+* rate conservation — no resource is ever allocated beyond its capacity;
+* the incremental allocator agrees with the from-scratch reference;
+* ``utilisation_report`` never needs its ``min(..., 1.0)`` clamp on a
+  well-formed run (the usage integral stays within physical capacity).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.geometry import Coordinate
+from repro.network.layout import CommRequest
+from repro.network.nodes import ResourceAllocation
+from repro.sim.control import PlannedCommunication
+from repro.sim.engine import SimulationEngine
+from repro.sim.flow import FlowTransport
+from repro.sim.machine import QuantumMachine
+
+GRID_SIDE = 5
+#: Relative head-room for float round-off in capacity checks.
+EPS = 1e-9
+
+coords = st.builds(
+    Coordinate,
+    x=st.integers(min_value=0, max_value=GRID_SIDE - 1),
+    y=st.integers(min_value=0, max_value=GRID_SIDE - 1),
+)
+
+#: (source, destination, start-delay) triples describing one channel each.
+channel_specs = st.lists(
+    st.tuples(coords, coords, st.floats(min_value=0.0, max_value=5000.0)),
+    min_size=1,
+    max_size=8,
+)
+
+allocations = st.sampled_from(
+    [
+        ResourceAllocation(1, 1, 1),
+        ResourceAllocation(2, 2, 1),
+        ResourceAllocation(8, 8, 1),
+        ResourceAllocation(4, 2, 3),
+    ]
+)
+
+
+def _planned(machine, source, dest, qubit):
+    plan = machine.planner.plan(source, dest)
+    request = CommRequest(source=source, dest=dest, qubit=qubit)
+    return PlannedCommunication(request=request, plan=plan)
+
+
+def _run_transport(allocation, specs, allocator, check=None):
+    """Drive a FlowTransport through ``specs``; call ``check`` after each event."""
+    machine = QuantumMachine(GRID_SIDE, allocation=allocation)
+    engine = SimulationEngine()
+    transport = FlowTransport(engine, machine, allocator=allocator)
+    for qubit, (source, dest, delay) in enumerate(specs):
+        planned = _planned(machine, source, dest, qubit)
+        engine.schedule(delay, lambda p=planned: transport.start(p, lambda: None))
+    while engine.step():
+        if check is not None:
+            check(transport)
+    return transport, engine
+
+
+def _assert_rates_conserve_capacity(transport):
+    for key, load in transport.resource_loads().items():
+        capacity = transport.capacity_of(key)
+        assert load <= capacity * (1.0 + EPS) + EPS, (
+            f"resource {key} over capacity: load={load}, capacity={capacity}"
+        )
+
+
+class TestMaxMinFairnessInvariants:
+    @given(allocations, channel_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_rates_never_exceed_capacity(self, allocation, specs):
+        specs = [(s, d, t) for s, d, t in specs if s != d]
+        if not specs:
+            return
+        transport, _ = _run_transport(
+            allocation, specs, "incremental", check=_assert_rates_conserve_capacity
+        )
+        assert transport.active_flows == 0
+        assert len(transport.records) == len(specs)
+
+    @given(allocations, channel_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_reference_allocator_conserves_capacity_too(self, allocation, specs):
+        specs = [(s, d, t) for s, d, t in specs if s != d]
+        if not specs:
+            return
+        _run_transport(
+            allocation, specs, "reference", check=_assert_rates_conserve_capacity
+        )
+
+    @given(allocations, channel_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_matches_reference_makespan(self, allocation, specs):
+        specs = [(s, d, t) for s, d, t in specs if s != d]
+        if not specs:
+            return
+        results = {}
+        for allocator in ("incremental", "reference"):
+            transport, engine = _run_transport(allocation, specs, allocator)
+            results[allocator] = (engine.now, len(transport.records))
+        assert results["incremental"][1] == results["reference"][1]
+        assert abs(results["incremental"][0] - results["reference"][0]) <= 1e-6
+
+    @given(allocations, channel_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_utilisation_report_never_needs_its_clamp(self, allocation, specs):
+        specs = [(s, d, t) for s, d, t in specs if s != d]
+        if not specs:
+            return
+        transport, engine = _run_transport(allocation, specs, "incremental")
+        elapsed = engine.now
+        if elapsed <= 0:
+            return
+        raw = transport.utilisation_report(elapsed, clamp=False)
+        clamped = transport.utilisation_report(elapsed)
+        for kind, value in raw.items():
+            assert 0.0 <= value <= 1.0 + EPS, f"{kind} utilisation {value} needs the clamp"
+            assert clamped[kind] <= 1.0

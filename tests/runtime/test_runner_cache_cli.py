@@ -1,0 +1,158 @@
+"""Tests for the runtime layer: cache, parallel runner and CLI."""
+
+import pytest
+
+from repro.analysis.fig16 import allocation_for_ratio
+from repro.analysis.series import TableData
+from repro.analysis.sweeps import linear_space
+from repro.errors import ConfigurationError
+from repro.network.nodes import ResourceAllocation
+from repro.runtime.cache import ResultCache, parameter_hash, source_fingerprint
+from repro.runtime.cli import main
+from repro.runtime.runner import ExperimentRunner
+
+
+class TestParameterHash:
+    def test_stable_across_calls(self):
+        params = {"layout": "home_base", "ratio": 4}
+        assert parameter_hash(params) == parameter_hash(params)
+
+    def test_dict_order_insensitive(self):
+        assert parameter_hash({"a": 1, "b": 2}) == parameter_hash({"b": 2, "a": 1})
+
+    def test_different_params_differ(self):
+        assert parameter_hash({"ratio": 1}) != parameter_hash({"ratio": 2})
+
+    def test_dataclasses_hash_by_value(self):
+        assert parameter_hash(ResourceAllocation(2, 2, 1)) == parameter_hash(
+            ResourceAllocation(2, 2, 1)
+        )
+        assert parameter_hash(ResourceAllocation(2, 2, 1)) != parameter_hash(
+            ResourceAllocation(2, 2, 2)
+        )
+
+    def test_nested_structures(self):
+        a = {"grid": [4, 8], "alloc": ResourceAllocation(1, 1, 1)}
+        b = {"alloc": ResourceAllocation(1, 1, 1), "grid": [4, 8]}
+        assert parameter_hash(a) == parameter_hash(b)
+
+    def test_source_fingerprint_is_stable(self):
+        # The fingerprint ties cache entries to the package source; within a
+        # process it must be a constant.
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 16
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = parameter_hash({"x": 1})
+        cache.put(key, {"value": 42})
+        assert key in cache
+        assert cache.get(key) == {"value": 42}
+        assert len(cache) == 1
+
+    def test_missing_key_returns_default(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("nope", default="fallback") == "fallback"
+
+    def test_corrupt_entry_is_a_miss_and_healed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = parameter_hash({"x": 1})
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for i in range(3):
+            cache.put(parameter_hash({"i": i}), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestExperimentRunner:
+    def test_runs_registry_experiments(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        results = runner.run(["table1", "table2"])
+        assert set(results) == {"table1", "table2"}
+        assert isinstance(results["table1"], TableData)
+
+    def test_second_run_hits_cache(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        first = runner.run(["table1"])
+        assert len(runner.cache) == 1
+        # Poison the cached artifact; a cache hit returns the poisoned value.
+        key = next(iter(runner.cache.keys()))
+        runner.cache.put(key, "poisoned")
+        assert runner.run(["table1"]) == {"table1": "poisoned"}
+        # force recomputes and heals the entry.
+        healed = runner.run(["table1"], force=True)
+        assert isinstance(healed["table1"], TableData)
+        assert healed["table1"].title == first["table1"].title
+
+    def test_unknown_identifier_rejected_before_running(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            runner.run(["definitely_not_an_experiment"])
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path), use_cache=False)
+        runner.run(["table1"])
+        assert runner.cache is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(workers=0)
+
+    def test_sweep_runs_grid_in_order(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        grid = [{"start": 0.0, "stop": 1.0, "count": n} for n in (2, 3)]
+        results = runner.sweep(linear_space, grid)
+        assert results == [[0.0, 1.0], [0.0, 0.5, 1.0]]
+
+    def test_sweep_caches_points(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        grid = [{"ratio": 1}, {"ratio": 8}]
+        first = runner.sweep(allocation_for_ratio, grid)
+        assert len(runner.cache) == 2
+        second = runner.sweep(allocation_for_ratio, grid)
+        assert second == first
+
+    def test_sweep_rejects_unimportable_callables(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            runner.sweep(lambda x: x, [{"x": 1}])
+
+    def test_pool_path_with_multiple_workers(self, tmp_path):
+        runner = ExperimentRunner(workers=2, cache_dir=str(tmp_path))
+        grid = [{"start": 0.0, "stop": 2.0, "count": n} for n in (2, 3, 5)]
+        results = runner.sweep(linear_space, grid)
+        assert [len(r) for r in results] == [2, 3, 5]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure16" in out and "[heavy]" in out
+
+    def test_run_command_prints_artifacts(self, tmp_path, capsys):
+        code = main(["run", "table1", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out and "Teleport" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, tmp_path, capsys):
+        code = main(["run", "nope", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_command(self, tmp_path, capsys):
+        code = main(["report", "--cache-dir", str(tmp_path), "--points", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "[figure12]" in out

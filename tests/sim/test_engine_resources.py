@@ -82,6 +82,41 @@ class TestEngine:
         engine.run()
         assert fired == ["second"]
 
+    def test_timer_disarms_after_firing(self):
+        # Regression: ``armed`` used to stay True forever after the timer
+        # fired because the internal event was never cleared.
+        engine = SimulationEngine()
+        fired = []
+        timer = Timer(engine)
+        timer.start(1.0, lambda: fired.append(engine.now))
+        assert timer.armed
+        engine.run()
+        assert fired == [1.0]
+        assert not timer.armed
+
+    def test_timer_can_rearm_from_its_own_callback(self):
+        engine = SimulationEngine()
+        fired = []
+        timer = Timer(engine)
+
+        def on_fire():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                timer.start(1.0, on_fire)
+
+        timer.start(1.0, on_fire)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert not timer.armed
+
+    def test_timer_cancel_after_firing_is_noop(self):
+        engine = SimulationEngine()
+        timer = Timer(engine)
+        timer.start(1.0, lambda: None)
+        engine.run()
+        timer.cancel()
+        assert not timer.armed
+
 
 class TestResourcePool:
     def test_grants_up_to_capacity_immediately(self):
