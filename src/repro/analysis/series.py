@@ -8,8 +8,8 @@ orderings) and render compact ASCII views for humans.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
 

@@ -32,6 +32,10 @@ class InfeasibleError(ReproError):
     """
 
 
+class ScenarioError(ConfigurationError):
+    """A declarative scenario spec is malformed or names unknown components."""
+
+
 class RoutingError(ReproError):
     """A path could not be constructed between two network nodes."""
 

@@ -16,6 +16,7 @@ from .nodes import (
     TeleporterSpec,
 )
 from .topology import MeshTopology
+from .fabrics import build_topology, list_topologies, register_topology
 from .routing import DimensionOrder, Path, dimension_order_route
 from .router import QuantumRouter, RouterPort
 from .messages import ClassicalMessage, PauliFrame
@@ -41,6 +42,9 @@ __all__ = [
     "ResourceAllocation",
     "RouterPort",
     "TeleporterSpec",
+    "build_topology",
     "dimension_order_route",
+    "list_topologies",
     "manhattan_distance",
+    "register_topology",
 ]

@@ -30,16 +30,34 @@ class DimensionOrder(Enum):
 
 @dataclass(frozen=True)
 class Path:
-    """An ordered sequence of T' nodes from source to destination."""
+    """An ordered sequence of T' nodes from source to destination.
+
+    ``wraps`` declares the wrap-around extents of the fabric the path was
+    routed on — ``(width, 0)`` for a ring, ``(width, height)`` for a torus,
+    ``(0, 0)`` (the default) for non-wrapping meshes.  A step is only valid
+    when geometrically adjacent or when it crosses the declared dimension's
+    exact boundary link (node 0 to node extent-1); anything else — including
+    interior jumps on a wrapping fabric — is rejected.
+    """
 
     nodes: Tuple[Coordinate, ...]
+    wraps: Tuple[int, int] = (0, 0)
 
     def __post_init__(self) -> None:
         if len(self.nodes) < 1:
             raise RoutingError("a path needs at least one node")
         for a, b in zip(self.nodes, self.nodes[1:]):
-            if a.manhattan(b) != 1:
+            if a.manhattan(b) != 1 and not self._is_wrap_link(a, b):
                 raise RoutingError(f"path nodes {a} and {b} are not adjacent")
+
+    def _is_wrap_link(self, a: Coordinate, b: Coordinate) -> bool:
+        if a.y == b.y:
+            extent, low, high = self.wraps[0], min(a.x, b.x), max(a.x, b.x)
+        elif a.x == b.x:
+            extent, low, high = self.wraps[1], min(a.y, b.y), max(a.y, b.y)
+        else:
+            return False
+        return extent >= 3 and low == 0 and high == extent - 1
 
     @property
     def source(self) -> Coordinate:
@@ -91,6 +109,19 @@ class Path:
         return iter(self.nodes)
 
 
+def _axis_step(current: int, target: int, extent: int, wrap: bool) -> int:
+    """Direction (+1/-1) to move ``current`` toward ``target`` on one axis.
+
+    On a wrapping axis the shorter way around wins; ties go forward so the
+    route is deterministic.
+    """
+    if not wrap:
+        return 1 if target > current else -1
+    forward = (target - current) % extent
+    backward = (current - target) % extent
+    return 1 if forward <= backward else -1
+
+
 def dimension_order_route(
     source: Coordinate,
     destination: Coordinate,
@@ -100,26 +131,42 @@ def dimension_order_route(
 ) -> Path:
     """Compute the dimension-order path between two T' nodes.
 
-    When a topology is given, both endpoints are validated against it.
+    When a topology is given, both endpoints are validated against it and its
+    wrap flags are honoured: on a ring or torus the walk takes the shorter
+    way around, stepping across the wrap link where that is cheaper.
     """
+    wrap_x = wrap_y = False
+    width = height = 0
     if topology is not None:
         topology.validate_node(source)
         topology.validate_node(destination)
+        wrap_x, wrap_y = topology.wrap_x, topology.wrap_y
+        width, height = topology.width, topology.height
     nodes: List[Coordinate] = [source]
     current = source
 
     def _walk_x(target_x: int) -> None:
         nonlocal current
-        step = 1 if target_x > current.x else -1
+        if current.x == target_x:
+            return
+        step = _axis_step(current.x, target_x, width, wrap_x)
         while current.x != target_x:
-            current = Coordinate(current.x + step, current.y)
+            new_x = current.x + step
+            if wrap_x:
+                new_x %= width
+            current = Coordinate(new_x, current.y)
             nodes.append(current)
 
     def _walk_y(target_y: int) -> None:
         nonlocal current
-        step = 1 if target_y > current.y else -1
+        if current.y == target_y:
+            return
+        step = _axis_step(current.y, target_y, height, wrap_y)
         while current.y != target_y:
-            current = Coordinate(current.x, current.y + step)
+            new_y = current.y + step
+            if wrap_y:
+                new_y %= height
+            current = Coordinate(current.x, new_y)
             nodes.append(current)
 
     if order is DimensionOrder.XY:
@@ -128,7 +175,7 @@ def dimension_order_route(
     else:
         _walk_y(destination.y)
         _walk_x(destination.x)
-    return Path(tuple(nodes))
+    return Path(tuple(nodes), wraps=(width if wrap_x else 0, height if wrap_y else 0))
 
 
 def route_many(

@@ -7,12 +7,20 @@ cluster attached to every T' node.  The topology is backed by a
 shortest paths for validation, bisection estimates) are available, while the
 routing used by the paper — dimension order — lives in
 :mod:`repro.network.routing`.
+
+Beyond the paper's plain mesh, either dimension can *wrap around*
+(``wrap_x`` / ``wrap_y``), which yields the other standard fabrics the
+scenario engine sweeps over: a ring (1-D with wrap), a torus (2-D with both
+wraps) and a line (1-D without).  A wrap link joins the first and last node
+of a row or column; distances and dimension-order routes take the shorter
+way around.  The named fabric constructors live in
+:mod:`repro.network.fabrics`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator
 
 import networkx as nx
 
@@ -21,15 +29,35 @@ from .geometry import Coordinate, iter_grid, manhattan_distance
 from .nodes import ResourceAllocation
 
 
+def is_wrap_step(a: Coordinate, b: Coordinate) -> bool:
+    """True when ``a`` and ``b`` can only be joined by a wrap-around link.
+
+    A wrap link is colinear, spans more than one cell and touches the zero
+    edge of its dimension (it joins node 0 to the last node of a row or
+    column); which widths actually provide it is the topology's concern.
+    """
+    dx, dy = abs(a.x - b.x), abs(a.y - b.y)
+    if dy == 0 and dx > 1:
+        return min(a.x, b.x) == 0
+    if dx == 0 and dy > 1:
+        return min(a.y, b.y) == 0
+    return False
+
+
 @dataclass(frozen=True)
 class LinkId:
-    """Identifier of the virtual wire between two adjacent T' nodes."""
+    """Identifier of the virtual wire between two adjacent T' nodes.
+
+    Adjacency is either geometric (Manhattan distance 1) or via a wrap-around
+    link of a ring/torus fabric (colinear, joining coordinate 0 to the far
+    edge).  Anything else — diagonals, interior long jumps — is rejected.
+    """
 
     a: Coordinate
     b: Coordinate
 
     def __post_init__(self) -> None:
-        if manhattan_distance(self.a, self.b) != 1:
+        if manhattan_distance(self.a, self.b) != 1 and not is_wrap_step(self.a, self.b):
             raise ConfigurationError(
                 f"a link must join adjacent T' nodes, got {self.a} and {self.b}"
             )
@@ -47,6 +75,11 @@ class LinkId:
     def horizontal(self) -> bool:
         return self.a.y == self.b.y
 
+    @property
+    def is_wrap(self) -> bool:
+        """True for the long-way-around link of a ring or torus."""
+        return manhattan_distance(self.a, self.b) != 1
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.a}-{self.b}"
 
@@ -61,6 +94,8 @@ class MeshTopology:
         allocation: ResourceAllocation | None = None,
         *,
         cells_per_hop: int = 600,
+        wrap_x: bool = False,
+        wrap_y: bool = False,
     ) -> None:
         if width < 1 or height < 1:
             raise ConfigurationError(f"mesh dimensions must be >= 1, got {width}x{height}")
@@ -70,6 +105,10 @@ class MeshTopology:
         self.height = height
         self.allocation = allocation or ResourceAllocation()
         self.cells_per_hop = cells_per_hop
+        # A wrap needs at least 3 nodes to add a distinct link; on 1 or 2
+        # nodes the "long way around" already is the direct link.
+        self.wrap_x = wrap_x and width >= 3
+        self.wrap_y = wrap_y and height >= 3
         self._graph = nx.Graph()
         self._links: Dict[LinkId, None] = {}
         self._build()
@@ -80,9 +119,18 @@ class MeshTopology:
         for coord in iter_grid(self.width, self.height):
             for neighbour in coord.neighbours(self.width, self.height):
                 if coord < neighbour:
-                    link = LinkId(coord, neighbour)
-                    self._graph.add_edge(coord, neighbour, link=link)
-                    self._links[link] = None
+                    self._add_link(coord, neighbour)
+        if self.wrap_x:
+            for y in range(self.height):
+                self._add_link(Coordinate(0, y), Coordinate(self.width - 1, y))
+        if self.wrap_y:
+            for x in range(self.width):
+                self._add_link(Coordinate(x, 0), Coordinate(x, self.height - 1))
+
+    def _add_link(self, a: Coordinate, b: Coordinate) -> None:
+        link = LinkId(a, b)
+        self._graph.add_edge(a, b, link=link)
+        self._links[link] = None
 
     # -- structure ------------------------------------------------------------
 
@@ -126,18 +174,26 @@ class MeshTopology:
     # -- distances ----------------------------------------------------------------
 
     def hop_distance(self, a: Coordinate, b: Coordinate) -> int:
-        """Manhattan distance in hops between two T' nodes."""
+        """Hop distance between two T' nodes (shorter way around on wraps)."""
         self.validate_node(a)
         self.validate_node(b)
-        return manhattan_distance(a, b)
+        dx = abs(a.x - b.x)
+        dy = abs(a.y - b.y)
+        if self.wrap_x:
+            dx = min(dx, self.width - dx)
+        if self.wrap_y:
+            dy = min(dy, self.height - dy)
+        return dx + dy
 
     def cell_distance(self, a: Coordinate, b: Coordinate) -> int:
         """Physical distance in ballistic cells between two T' nodes."""
         return self.hop_distance(a, b) * self.cells_per_hop
 
     def diameter_hops(self) -> int:
-        """Longest Manhattan distance on the mesh (corner to corner)."""
-        return (self.width - 1) + (self.height - 1)
+        """Longest hop distance on the fabric (corner to corner on a mesh)."""
+        dx = self.width // 2 if self.wrap_x else self.width - 1
+        dy = self.height // 2 if self.wrap_y else self.height - 1
+        return dx + dy
 
     # -- resource accounting ------------------------------------------------------
 
@@ -156,9 +212,23 @@ class MeshTopology:
             self.total_teleporters() + self.total_generators() + self.total_purifiers()
         )
 
+    @property
+    def fabric(self) -> str:
+        """Fabric family implied by the dimensions and wrap flags."""
+        flat = self.height == 1
+        if self.wrap_x and self.wrap_y:
+            return "torus"
+        if flat and self.wrap_x:
+            return "ring"
+        if flat and not self.wrap_x:
+            return "line"
+        if self.wrap_x or self.wrap_y:
+            return "cylinder"
+        return "mesh"
+
     def describe(self) -> str:
         return (
-            f"MeshTopology {self.width}x{self.height}: "
+            f"MeshTopology {self.width}x{self.height} ({self.fabric}): "
             f"{self.node_count} T' nodes, {self.link_count} virtual wires, "
             f"allocation {self.allocation.label}, "
             f"{self.cells_per_hop} cells/hop"
@@ -167,7 +237,7 @@ class MeshTopology:
     # -- validation helpers ----------------------------------------------------------
 
     def shortest_path_length(self, a: Coordinate, b: Coordinate) -> int:
-        """Graph-theoretic shortest path length (equals Manhattan distance)."""
+        """Graph-theoretic shortest path length (equals :meth:`hop_distance`)."""
         self.validate_node(a)
         self.validate_node(b)
         return nx.shortest_path_length(self._graph, a, b)

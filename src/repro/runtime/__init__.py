@@ -11,16 +11,19 @@ from .cache import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
     default_cache_dir,
+    fingerprinted_files,
     parameter_hash,
     source_fingerprint,
 )
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, SweepPoint
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ExperimentRunner",
     "ResultCache",
+    "SweepPoint",
     "default_cache_dir",
+    "fingerprinted_files",
     "parameter_hash",
     "source_fingerprint",
 ]

@@ -47,27 +47,57 @@ def _canonicalise(value: Any) -> Any:
     return ("repr", type(value).__qualname__, repr(value))
 
 
+def fingerprinted_files(package_root: Optional[str] = None) -> Iterator[str]:
+    """Package-relative paths of every source file the fingerprint covers.
+
+    Walks the live package directory, so *every* subpackage — including ones
+    added after a cache was first populated, like ``repro.scenarios`` — is
+    covered automatically; nothing enumerates package names that could go
+    stale.  ``__pycache__`` and hidden directories are pruned.
+    """
+    package_root = package_root or _default_package_root()
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.relpath(os.path.join(dirpath, name), package_root)
+
+
+def _default_package_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _compute_fingerprint(root: str) -> str:
+    digest = hashlib.sha256()
+    for relpath in fingerprinted_files(root):
+        digest.update(relpath.encode("utf-8"))
+        with open(os.path.join(root, relpath), "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
 @functools.lru_cache(maxsize=1)
-def source_fingerprint() -> str:
+def _default_fingerprint() -> str:
+    return _compute_fingerprint(_default_package_root())
+
+
+def source_fingerprint(package_root: Optional[str] = None) -> str:
     """Content hash of the ``repro`` package's source files.
 
     Cached results are only valid for the code that produced them, so the
     runner folds this into every cache key: editing any module under
-    ``src/repro`` invalidates all previously cached artefacts instead of
-    silently serving stale ones.
+    ``src/repro`` — the scenario spec schema included — invalidates all
+    previously cached artefacts instead of silently serving stale ones.
+
+    ``package_root`` exists for tests (and is recomputed on every call);
+    production callers use the memoized default, the installed ``repro``
+    package.
     """
-    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    digest = hashlib.sha256()
-    for dirpath, dirnames, filenames in os.walk(package_root):
-        dirnames.sort()
-        for name in sorted(filenames):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            digest.update(os.path.relpath(path, package_root).encode("utf-8"))
-            with open(path, "rb") as handle:
-                digest.update(handle.read())
-    return digest.hexdigest()[:16]
+    if package_root is None:
+        return _default_fingerprint()
+    return _compute_fingerprint(package_root)
 
 
 def parameter_hash(params: Any) -> str:

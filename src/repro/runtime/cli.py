@@ -9,11 +9,17 @@ Subcommands
     Regenerate specific artefacts (default: all light ones) and print them.
 ``report``
     Print the full reproduction report.
+``scenarios list|run|sweep``
+    The declarative scenario engine: list the catalog, run named or
+    file-defined scenarios, or fan a topology x workload grid across the
+    pool.  ``--emit-bench out.json`` writes the machine-readable benchmark
+    payload the CI perf trajectory records.
 
-``run`` and ``report`` execute through :class:`repro.runtime.ExperimentRunner`,
-so independent experiments run across a process pool and results are cached on
-disk — a second invocation prints instantly.  ``--no-cache`` recomputes
-without touching the cache, ``--force`` recomputes and refreshes it.
+``run``, ``report`` and the scenario commands execute through
+:class:`repro.runtime.ExperimentRunner`, so independent experiments run
+across a process pool and results are cached on disk — a second invocation
+prints instantly.  ``--no-cache`` recomputes without touching the cache,
+``--force`` recomputes and refreshes it.
 """
 
 from __future__ import annotations
@@ -24,6 +30,47 @@ from typing import List, Optional
 
 from ..errors import ReproError
 from .runner import ExperimentRunner
+
+
+def _add_runner_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size (default: one per CPU, capped by task count)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything; do not read or write the cache",
+    )
+    sub.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute everything but refresh the cache with the results",
+    )
+
+
+def _add_scenario_io_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON/YAML scenario file (single scenario, bundle or sweep)",
+    )
+    sub.add_argument(
+        "--emit-bench",
+        default=None,
+        metavar="OUT",
+        help="write the machine-readable benchmark payload to OUT (JSON)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,29 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="include heavy experiments (full contention sweeps)",
         )
-        sub.add_argument(
-            "--workers",
-            type=int,
-            default=None,
-            metavar="N",
-            help="process-pool size (default: one per CPU, capped by task count)",
-        )
-        sub.add_argument(
-            "--cache-dir",
-            default=None,
-            metavar="DIR",
-            help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
-        )
-        sub.add_argument(
-            "--no-cache",
-            action="store_true",
-            help="recompute everything; do not read or write the cache",
-        )
-        sub.add_argument(
-            "--force",
-            action="store_true",
-            help="recompute everything but refresh the cache with the results",
-        )
+        _add_runner_options(sub)
         sub.add_argument(
             "--points",
             type=int,
@@ -83,6 +108,50 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="x-samples printed per figure series (default: 8)",
         )
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="declarative scenario engine (list/run/sweep)"
+    )
+    scenario_subs = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    sc_list = scenario_subs.add_parser(
+        "list", help="list built-in (or file-defined) scenarios"
+    )
+    sc_list.add_argument(
+        "--spec", default=None, metavar="FILE", help="list a scenario file instead"
+    )
+
+    sc_run = scenario_subs.add_parser(
+        "run", help="run scenarios by name (catalog or --spec file)"
+    )
+    sc_run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="scenario names (default: every scenario the source defines)",
+    )
+    _add_scenario_io_options(sc_run)
+    _add_runner_options(sc_run)
+
+    sc_sweep = scenario_subs.add_parser(
+        "sweep", help="fan a scenario grid across the process pool"
+    )
+    sc_sweep.add_argument(
+        "--topologies",
+        default=None,
+        metavar="A,B",
+        help="comma-separated fabric kinds for the built-in grid "
+        "(default: mesh,ring,torus)",
+    )
+    sc_sweep.add_argument(
+        "--workloads",
+        default=None,
+        metavar="X,Y",
+        help="comma-separated workload kinds for the built-in grid "
+        "(default: qft,permutation)",
+    )
+    _add_scenario_io_options(sc_sweep)
+    _add_runner_options(sc_sweep)
     return parser
 
 
@@ -130,6 +199,126 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- scenario commands --------------------------------------------------------------
+
+
+def _file_or_catalog_specs(spec_path: Optional[str]):
+    """Scenario specs from ``--spec FILE``, else the built-in catalog."""
+    from ..scenarios import get_scenario, list_scenarios, load_scenario_file
+
+    if spec_path:
+        return load_scenario_file(spec_path)
+    return [get_scenario(name) for name in list_scenarios()]
+
+
+def _require_specs(specs, source: str):
+    if not specs:
+        from ..errors import ScenarioError
+
+        raise ScenarioError(f"{source} defines no scenarios")
+    return specs
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    specs = _require_specs(_file_or_catalog_specs(args.spec), args.spec or "the catalog")
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        description = spec.description or spec.label
+        print(f"{spec.name:{width}s}  {spec.label}  --  {description}")
+    return 0
+
+
+def _execute_scenarios(specs, args: argparse.Namespace) -> int:
+    """Fan specs across the pool, print the result table, emit the payload."""
+    from ..scenarios import run_scenario
+    from ..scenarios.bench import bench_payload, write_bench_file
+
+    _require_specs(specs, "the scenario selection")
+    runner = _runner_from(args)
+    # Pool payloads are canonical (name/description stripped), so two
+    # differently-named specs describing the same experiment share one cache
+    # slot; each record is re-labelled with its caller-side identity below.
+    points = runner.sweep_records(
+        run_scenario, [{"spec": spec.canonical_dict()} for spec in specs], force=args.force
+    )
+    name_width = max(len(spec.name) for spec in specs)
+    records = []
+    for spec, point in zip(specs, points):
+        record = {
+            **point.result,
+            "name": spec.name,
+            "label": spec.label,
+            "spec": spec.to_dict(),
+            "cached": point.cached,
+        }
+        records.append(record)
+        flag = "cache" if point.cached else f"{record['wall_time_s']:.2f}s"
+        print(
+            f"{spec.name:{name_width}s}  makespan={record['makespan_us']:14.3f} us  "
+            f"channels={record['channel_count']:4d}  ops={record['operations']:4d}  "
+            f"[{flag}]"
+        )
+    if args.emit_bench:
+        payload = bench_payload(records)
+        path = write_bench_file(args.emit_bench, payload)
+        print(
+            f"wrote {path}: {payload['scenario_count']} scenarios, "
+            f"{payload['cache_hits']} cache hits, "
+            f"{payload['computed_wall_time_s']:.2f}s computed"
+        )
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from ..errors import ScenarioError
+
+    specs = _file_or_catalog_specs(args.spec)
+    if args.names:
+        by_name = {spec.name: spec for spec in specs}
+        missing = [name for name in args.names if name not in by_name]
+        if missing:
+            raise ScenarioError(
+                f"unknown scenario names {missing}; available: {sorted(by_name)}"
+            )
+        specs = [by_name[name] for name in args.names]
+    return _execute_scenarios(specs, args)
+
+
+def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    from ..errors import ScenarioError
+    from ..scenarios import default_grid, load_scenario_file
+
+    if args.spec:
+        if args.topologies or args.workloads:
+            raise ScenarioError(
+                "--spec defines its own grid; it cannot be combined with "
+                "--topologies/--workloads"
+            )
+        specs = load_scenario_file(args.spec)
+    else:
+        topologies = [t for t in (args.topologies or "").split(",") if t] or None
+        workloads = [w for w in (args.workloads or "").split(",") if w] or None
+        kwargs = {}
+        if topologies:
+            kwargs["topologies"] = topologies
+        if workloads:
+            kwargs["workloads"] = workloads
+        specs = default_grid(**kwargs)
+    return _execute_scenarios(specs, args)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        return _cmd_scenarios_list(args)
+    if args.scenario_command == "run":
+        return _cmd_scenarios_run(args)
+    if args.scenario_command == "sweep":
+        return _cmd_scenarios_sweep(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled scenario command {args.scenario_command!r}"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -139,6 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -17,10 +17,21 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .cache import ResultCache, parameter_hash, source_fingerprint
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executed sweep point: its parameters, result and cache provenance."""
+
+    params: Dict[str, Any]
+    result: Any
+    cache_key: str
+    cached: bool
 
 
 def _resolve(module_name: str, qualname: str) -> Callable[..., Any]:
@@ -104,9 +115,15 @@ class ExperimentRunner:
         keyed_tasks: List[Tuple[str, Any]],
         *,
         force: bool,
-    ) -> Dict[str, Any]:
-        """Run (cache_key, task) pairs, satisfying what it can from the cache."""
+    ) -> Tuple[Dict[str, Any], set]:
+        """Run (cache_key, task) pairs, satisfying what it can from the cache.
+
+        Returns the results by key plus the set of keys actually *served*
+        from the cache — an existence probe is not enough, because a corrupt
+        entry reads as a miss and gets recomputed.
+        """
         results: Dict[str, Any] = {}
+        hit_keys: set = set()
         misses: List[Tuple[str, Any]] = []
         missing_keys = set()
         sentinel = object()
@@ -115,6 +132,7 @@ class ExperimentRunner:
                 hit = self.cache.get(key, sentinel)
                 if hit is not sentinel:
                     results[key] = hit
+                    hit_keys.add(key)
                     continue
             if key not in results and key not in missing_keys:
                 missing_keys.add(key)
@@ -125,7 +143,7 @@ class ExperimentRunner:
                 if self.cache is not None:
                     self.cache.put(key, value)
                 results[key] = value
-        return results
+        return results, hit_keys
 
     # -- registry experiments ---------------------------------------------------------
 
@@ -156,7 +174,7 @@ class ExperimentRunner:
             (parameter_hash({"experiment": identifier, "source": source}), identifier)
             for identifier in identifiers
         ]
-        by_key = self._run_keyed(_execute_experiment, keyed, force=force)
+        by_key, _ = self._run_keyed(_execute_experiment, keyed, force=force)
         return {identifier: by_key[key] for key, identifier in keyed}
 
     # -- parameter sweeps ---------------------------------------------------------------
@@ -174,6 +192,22 @@ class ExperimentRunner:
         it by name).  Results come back in grid order; each point is cached
         under the hash of (function, params).
         """
+        return [point.result for point in self.sweep_records(func, param_grid, force=force)]
+
+    def sweep_records(
+        self,
+        func: Callable[..., Any],
+        param_grid: Sequence[Dict[str, Any]],
+        *,
+        force: bool = False,
+    ) -> List[SweepPoint]:
+        """Like :meth:`sweep`, but each point also reports its cache provenance.
+
+        A point is ``cached`` when its value was actually served from the
+        cache (a corrupt on-disk entry counts as a miss) — which is what lets
+        the scenario CLI show (and the benchmark payload record) which grid
+        points were free.
+        """
         module_name, qualname = _callable_path(func)
         source = source_fingerprint()
         keyed = []
@@ -182,5 +216,13 @@ class ExperimentRunner:
                 {"func": f"{module_name}:{qualname}", "params": params, "source": source}
             )
             keyed.append((key, (module_name, qualname, dict(params))))
-        by_key = self._run_keyed(_execute_call, keyed, force=force)
-        return [by_key[key] for key, _ in keyed]
+        by_key, hit_keys = self._run_keyed(_execute_call, keyed, force=force)
+        return [
+            SweepPoint(
+                params=dict(params),
+                result=by_key[key],
+                cache_key=key,
+                cached=key in hit_keys,
+            )
+            for (key, _), params in zip(keyed, param_grid)
+        ]

@@ -1,0 +1,54 @@
+"""Declarative scenario engine: specs, loading, catalog and execution.
+
+Scenarios turn experiments into data.  A :class:`ScenarioSpec` composes a
+topology (any registered fabric), a workload (any registered instruction
+stream), physics parameters and runtime options; the loader reads single
+scenarios, bundles and sweep grids from JSON/YAML with inheritance
+(``extends``); and :func:`run_scenario` executes a spec through the
+communication simulator, returning a flat record the benchmark trajectory
+and the CLI both consume.  ``python -m repro scenarios`` is the front end.
+"""
+
+from .spec import (
+    PhysicsSpec,
+    RuntimeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    apply_overrides,
+    deep_merge,
+)
+from .loader import (
+    expand_grid,
+    load_scenario_file,
+    load_scenarios,
+    parse_text,
+    resolve_scenario,
+)
+from .catalog import default_grid, get_scenario, list_scenarios
+from .run import build_machine, build_stream, run_scenario
+from .bench import bench_payload, current_git_sha, write_bench_file
+
+__all__ = [
+    "PhysicsSpec",
+    "RuntimeSpec",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "apply_overrides",
+    "bench_payload",
+    "build_machine",
+    "build_stream",
+    "current_git_sha",
+    "deep_merge",
+    "default_grid",
+    "expand_grid",
+    "get_scenario",
+    "list_scenarios",
+    "load_scenario_file",
+    "load_scenarios",
+    "parse_text",
+    "resolve_scenario",
+    "run_scenario",
+    "write_bench_file",
+]

@@ -1,0 +1,84 @@
+"""Machine-readable benchmark payloads for the CI perf trajectory.
+
+``python -m repro scenarios sweep --emit-bench out.json`` writes one of these
+per run; CI uploads them as ``BENCH_<sha>.json`` artifacts, which strung
+together over commits form the repository's recorded benchmark trajectory.
+The payload is deliberately flat JSON: per-scenario makespan (the simulated
+metric) and wall time (the computed-cost metric), plus enough identity (spec
+hash, git sha, python version) to compare points across commits.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Bump when the payload layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
+def current_git_sha() -> str:
+    """Commit identity for the payload: $GITHUB_SHA, else git, else unknown."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def bench_payload(
+    records: List[Dict[str, Any]],
+    *,
+    sha: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the benchmark JSON from per-scenario result records.
+
+    Each record's own ``cached`` flag (attached by the caller from the sweep
+    point's provenance) marks points served from the result cache, so
+    trajectory consumers can exclude free points from wall-time statistics.
+    """
+    scenarios = []
+    computed_wall = 0.0
+    for record in records:
+        cached = bool(record.get("cached", False))
+        scenarios.append({**record, "cached": cached})
+        if not cached:
+            computed_wall += float(record.get("wall_time_s", 0.0))
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "sha": sha or current_git_sha(),
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenario_count": len(scenarios),
+        "cache_hits": sum(1 for s in scenarios if s["cached"]),
+        "computed_wall_time_s": computed_wall,
+        "total_makespan_us": sum(float(s.get("makespan_us", 0.0)) for s in scenarios),
+        "scenarios": scenarios,
+    }
+
+
+def write_bench_file(path: str, payload: Dict[str, Any]) -> str:
+    """Write a payload as pretty-printed JSON; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

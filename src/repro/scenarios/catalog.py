@@ -1,0 +1,120 @@
+"""Built-in scenario catalog and the default sweep grid.
+
+These are the named starting points ``python -m repro scenarios`` serves out
+of the box: the paper's baseline machine plus one scenario per alternative
+fabric, each small enough to run in seconds.  File-based scenarios can extend
+any of them by name (``extends: paper_baseline``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..errors import ScenarioError
+from .spec import ScenarioSpec, apply_overrides
+
+#: Raw catalog entries; kept as dicts so ``extends`` can merge them cheaply.
+_CATALOG: Dict[str, Dict[str, Any]] = {
+    "paper_baseline": {
+        "description": "The paper's Figure 16 regime: square mesh, Home Base QFT.",
+        "topology": {"kind": "mesh", "width": 8},
+        "workload": {"kind": "qft", "num_qubits": 16},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+    },
+    "paper_mobile": {
+        "description": "Mobile Qubit variant of the paper baseline.",
+        "extends": "paper_baseline",
+        "runtime": {"layout": "mobile_qubit"},
+    },
+    "smoke": {
+        "description": "Tiny end-to-end scenario for CI smoke tests (<1 s).",
+        "topology": {"kind": "mesh", "width": 3},
+        "workload": {"kind": "qft", "num_qubits": 6},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+    },
+    "ring_qft": {
+        "description": "QFT on a 9-node ring; wrap links halve the mean distance.",
+        "topology": {"kind": "ring", "width": 9},
+        "workload": {"kind": "qft", "num_qubits": 8},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+    },
+    "line_neighbours": {
+        "description": "Brick-wall nearest-neighbour traffic on a 9-node line.",
+        "topology": {"kind": "line", "width": 9},
+        "workload": {"kind": "nearest_neighbour", "num_qubits": 8, "params": {"rounds": 2}},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "mobile_qubit"},
+    },
+    "torus_permutation": {
+        "description": "Random matching on a 4x4 torus (max concurrent contention).",
+        "topology": {"kind": "torus", "width": 4},
+        "workload": {"kind": "permutation", "num_qubits": 16, "params": {"seed": 7}},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+    },
+    "mesh_modexp": {
+        "description": "Modular exponentiation kernel on a small mesh.",
+        "topology": {"kind": "mesh", "width": 4},
+        "workload": {"kind": "modexp", "num_qubits": 8, "params": {"steps": 1}},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+    },
+}
+
+
+def list_scenarios() -> List[str]:
+    """Names of the built-in scenarios, sorted."""
+    return sorted(_CATALOG)
+
+
+def catalog_entry(name: str) -> Dict[str, Any]:
+    """Raw (possibly ``extends``-bearing) catalog mapping for ``name``."""
+    key = (name or "").strip()
+    if key not in _CATALOG:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; built-ins: {list_scenarios()}"
+        )
+    return dict(_CATALOG[key])
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """A fully-resolved, validated built-in scenario."""
+    from .loader import resolve_scenario
+
+    return resolve_scenario(catalog_entry(name), name=name)
+
+
+#: The default sweep: every fabric family crossed with an all-to-all and a
+#: matching workload, on fabrics sized so 8 logical qubits fit everywhere.
+DEFAULT_GRID_TOPOLOGIES = ("mesh", "ring", "torus")
+DEFAULT_GRID_WORKLOADS = ("qft", "permutation")
+
+
+def default_grid(
+    topologies: Sequence[str] = DEFAULT_GRID_TOPOLOGIES,
+    workloads: Sequence[str] = DEFAULT_GRID_WORKLOADS,
+) -> List[ScenarioSpec]:
+    """The built-in topology x workload sweep (>= 4 scenarios by default).
+
+    Every point shares the ``ring_qft`` base (9-wide fabric, 8 logical
+    qubits, t=g=2p) so the sweep isolates the fabric/workload axes.
+    """
+    from .loader import resolve_scenario
+
+    if not topologies or not workloads:
+        raise ScenarioError("the scenario grid needs at least one topology and one workload")
+    base = catalog_entry("ring_qft")
+    base.pop("description", None)
+    specs: List[ScenarioSpec] = []
+    for kind in topologies:
+        for workload in workloads:
+            data = apply_overrides(
+                base, {"topology.kind": kind, "workload.kind": workload}
+            )
+            specs.append(
+                resolve_scenario(data, name=f"grid/{kind}-{workload}")
+            )
+    return specs

@@ -1,0 +1,202 @@
+"""Loading scenarios from JSON/YAML text, with inheritance and sweeps.
+
+A scenario file holds one of three shapes:
+
+1. **A single scenario** — the mapping documented in
+   :mod:`repro.scenarios.spec`, optionally carrying ``extends: <name>``;
+2. **A bundle** — ``{"scenarios": {...}}`` mapping names to scenario
+   mappings (or a list of named mappings), which may extend the built-in
+   catalog or each other;
+3. **A sweep** — ``{"base": <name-or-mapping>, "sweep": {dotted.key:
+   [values, ...], ...}}`` expanding the cross product of the axes into one
+   scenario per grid point.
+
+Files are parsed as JSON first and as YAML when PyYAML is available; the
+``extends`` chain is resolved against the built-in catalog plus the file's
+own entries, depth-first with cycle detection, and every resolved mapping is
+validated into a :class:`~repro.scenarios.spec.ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ScenarioError
+from .spec import ScenarioSpec, apply_overrides, deep_merge
+
+try:  # PyYAML is optional; JSON always works.
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - depends on the environment
+    _yaml = None
+
+
+def parse_text(text: str, *, source: str = "<string>") -> Any:
+    """Parse scenario text: JSON first, YAML as the fallback."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as json_error:
+        if _yaml is None:
+            raise ScenarioError(
+                f"{source} is not valid JSON ({json_error}) and PyYAML is not "
+                "installed for the YAML fallback"
+            ) from json_error
+        try:
+            return _yaml.safe_load(text)
+        except _yaml.YAMLError as yaml_error:
+            raise ScenarioError(
+                f"{source} parses as neither JSON ({json_error}) nor YAML ({yaml_error})"
+            ) from yaml_error
+
+
+def _library_entry(name: str, library: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Look up an ``extends`` target: file-local entries shadow the catalog."""
+    from .catalog import catalog_entry, list_scenarios
+
+    if library and name in library:
+        entry = library[name]
+        if not isinstance(entry, Mapping):
+            raise ScenarioError(f"scenario {name!r} must be a mapping, got {entry!r}")
+        return dict(entry)
+    try:
+        return catalog_entry(name)
+    except ScenarioError:
+        known = sorted(set(list_scenarios()) | set(library or ()))
+        raise ScenarioError(f"unknown scenario {name!r} to extend; known: {known}") from None
+
+
+def _resolve_extends(
+    data: Mapping[str, Any],
+    library: Optional[Mapping[str, Any]],
+    seen: tuple,
+) -> Dict[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"a scenario must be a mapping, got {type(data).__name__}")
+    parent_name = data.get("extends")
+    if parent_name is None:
+        return deep_merge({}, data)
+    if not isinstance(parent_name, str) or not parent_name.strip():
+        raise ScenarioError(f"extends must name a scenario, got {parent_name!r}")
+    parent_name = parent_name.strip()
+    if parent_name in seen:
+        chain = " -> ".join(seen + (parent_name,))
+        raise ScenarioError(f"circular scenario inheritance: {chain}")
+    parent = _resolve_extends(
+        _library_entry(parent_name, library), library, seen + (parent_name,)
+    )
+    child = {k: v for k, v in data.items() if k != "extends"}
+    # The child's name and description win; a child without either keeps only
+    # its own identity, not the parent's description of itself.
+    merged = deep_merge(parent, child)
+    if "name" in parent and "name" not in child:
+        merged.pop("name", None)
+    if "description" in parent and "description" not in child:
+        merged.pop("description", None)
+    return merged
+
+
+def resolve_scenario(
+    data: Mapping[str, Any],
+    *,
+    name: Optional[str] = None,
+    library: Optional[Mapping[str, Any]] = None,
+) -> ScenarioSpec:
+    """Resolve ``extends`` and validate one scenario mapping."""
+    resolved = _resolve_extends(data, library, seen=())
+    return ScenarioSpec.from_dict(resolved, name=name)
+
+
+def expand_grid(
+    base: Mapping[str, Any],
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    name_prefix: str = "sweep",
+    library: Optional[Mapping[str, Any]] = None,
+) -> List[ScenarioSpec]:
+    """Cross-product sweep: one scenario per combination of the axes.
+
+    ``axes`` maps dotted spec paths to value lists, e.g.
+    ``{"topology.kind": ["mesh", "ring"], "workload.num_qubits": [8, 16]}``.
+    Scenario names encode their grid point (``sweep/topology.kind=ring,...``).
+    """
+    if not isinstance(axes, Mapping) or not axes:
+        raise ScenarioError("sweep axes must be a non-empty mapping of dotted keys to lists")
+    keys = list(axes)
+    value_lists = []
+    for key in keys:
+        values = axes[key]
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence) or not values:
+            raise ScenarioError(
+                f"sweep axis {key!r} must be a non-empty list of values, got {values!r}"
+            )
+        value_lists.append(list(values))
+    resolved_base = _resolve_extends(base, library, seen=())
+    resolved_base.pop("name", None)
+    resolved_base.pop("description", None)
+    specs: List[ScenarioSpec] = []
+    for combo in itertools.product(*value_lists):
+        overrides = dict(zip(keys, combo))
+        point_name = ",".join(f"{k}={v}" for k, v in overrides.items())
+        data = apply_overrides(resolved_base, overrides)
+        specs.append(ScenarioSpec.from_dict(data, name=f"{name_prefix}/{point_name}"))
+    return specs
+
+
+def load_scenarios(data: Any, *, source: str = "<data>") -> List[ScenarioSpec]:
+    """Interpret parsed scenario data (single, bundle or sweep) into specs."""
+    if not isinstance(data, Mapping):
+        raise ScenarioError(
+            f"{source} must hold a mapping at the top level, got {type(data).__name__}"
+        )
+    if "scenarios" in data and "sweep" in data:
+        raise ScenarioError(f"{source} mixes 'scenarios' and 'sweep'; pick one shape")
+    if "scenarios" in data:
+        extra = sorted(set(data) - {"scenarios"})
+        if extra:
+            raise ScenarioError(f"{source} has unknown bundle keys {extra}")
+        return _load_bundle(data["scenarios"], source=source)
+    if "sweep" in data:
+        extra = sorted(set(data) - {"base", "sweep", "name"})
+        if extra:
+            raise ScenarioError(f"{source} has unknown sweep keys {extra}")
+        base = data.get("base", {})
+        if isinstance(base, str):
+            base = {"extends": base}
+        prefix = data.get("name", "sweep")
+        if not isinstance(prefix, str) or not prefix.strip():
+            raise ScenarioError(f"{source}: sweep name must be a non-empty string")
+        return expand_grid(base, data["sweep"], name_prefix=prefix.strip())
+    return [resolve_scenario(data, name=data.get("name", os.path.basename(source)))]
+
+
+def _load_bundle(entries: Any, *, source: str) -> List[ScenarioSpec]:
+    if isinstance(entries, Mapping):
+        named = dict(entries)
+    elif isinstance(entries, Sequence) and not isinstance(entries, (str, bytes)):
+        named = {}
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, Mapping) or not isinstance(entry.get("name"), str):
+                raise ScenarioError(
+                    f"{source}: scenarios[{index}] needs a 'name' when given as a list"
+                )
+            named[entry["name"]] = entry
+    else:
+        raise ScenarioError(f"{source}: 'scenarios' must be a mapping or a list of mappings")
+    if not named:
+        raise ScenarioError(f"{source}: 'scenarios' must define at least one scenario")
+    specs = []
+    for name, entry in named.items():
+        specs.append(resolve_scenario(entry, name=name, library=named))
+    return specs
+
+
+def load_scenario_file(path: str) -> List[ScenarioSpec]:
+    """Load scenarios from a JSON/YAML file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path!r}: {exc}") from exc
+    return load_scenarios(parse_text(text, source=path), source=path)

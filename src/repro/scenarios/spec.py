@@ -1,0 +1,352 @@
+"""Declarative scenario specifications.
+
+A scenario composes four orthogonal sections into one runnable experiment:
+
+* ``topology`` — which fabric to build (line/ring/mesh/torus) and its size;
+* ``workload`` — which instruction stream to run and its parameters;
+* ``physics`` — the (t, g, p) resource allocation, purification protocol and
+  timing knobs;
+* ``runtime`` — layout, allocator, routing order and simulation limits.
+
+Specs are plain frozen dataclasses with a strict dict codec: every section
+rejects unknown keys, type errors and out-of-range values with a
+:class:`~repro.errors.ScenarioError` naming the offending field, and
+``ScenarioSpec.from_dict(spec.to_dict())`` round-trips exactly.  Inheritance
+is handled one level up (see :mod:`repro.scenarios.loader`): a scenario
+mapping may carry ``extends: <name>`` and only the keys it wants to change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ScenarioError
+from ..network.fabrics import list_topologies
+from ..workloads.registry import list_workloads, workload_params
+
+#: Layout aliases accepted by :func:`repro.network.layout.build_layout`,
+#: normalised to their canonical spelling so alias choice never changes a
+#: spec's hash (and therefore its cache slot).
+LAYOUT_ALIASES = {
+    "home_base": "home_base",
+    "homebase": "home_base",
+    "mobile_qubit": "mobile_qubit",
+    "mobile": "mobile_qubit",
+}
+ALLOCATOR_NAMES = ("incremental", "reference")
+ROUTING_NAMES = ("xy", "yx")
+
+
+def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise ScenarioError(f"{where} must be a mapping, got {type(value).__name__}")
+    bad = [k for k in value if not isinstance(k, str)]
+    if bad:
+        raise ScenarioError(f"{where} has non-string keys: {bad}")
+    return dict(value)
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: Tuple[str, ...], where: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            f"{where} has unknown keys {unknown}; accepted: {sorted(allowed)}"
+        )
+
+
+def _int_field(data: Mapping[str, Any], key: str, default: int, where: str, *, minimum: int) -> int:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{where}.{key} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ScenarioError(f"{where}.{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def _float_field(
+    data: Mapping[str, Any], key: str, default: float, where: str, *, minimum: float,
+    exclusive: bool = False,
+) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{where}.{key} must be a number, got {value!r}")
+    value = float(value)
+    if exclusive and value <= minimum:
+        raise ScenarioError(f"{where}.{key} must be > {minimum}, got {value}")
+    if not exclusive and value < minimum:
+        raise ScenarioError(f"{where}.{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def _choice_field(
+    data: Mapping[str, Any], key: str, default: str, where: str, choices: Tuple[str, ...]
+) -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str):
+        raise ScenarioError(f"{where}.{key} must be a string, got {value!r}")
+    value = value.strip().lower()
+    if value not in choices:
+        raise ScenarioError(
+            f"{where}.{key} must be one of {sorted(set(choices))}, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which fabric to build and how large."""
+
+    kind: str = "mesh"
+    width: int = 8
+    height: Optional[int] = None
+    cells_per_hop: int = 600
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TopologySpec":
+        data = _require_mapping(data, "topology")
+        _reject_unknown(data, ("kind", "width", "height", "cells_per_hop"), "topology")
+        kind = _choice_field(data, "kind", cls.kind, "topology", tuple(list_topologies()))
+        height = data.get("height")
+        if height is not None:
+            height = _int_field(data, "height", 1, "topology", minimum=1)
+        return cls(
+            kind=kind,
+            width=_int_field(data, "width", cls.width, "topology", minimum=1),
+            height=height,
+            cells_per_hop=_int_field(
+                data, "cells_per_hop", cls.cells_per_hop, "topology", minimum=1
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which instruction stream to run."""
+
+    kind: str = "qft"
+    num_qubits: int = 16
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "WorkloadSpec":
+        data = _require_mapping(data, "workload")
+        _reject_unknown(data, ("kind", "num_qubits", "params"), "workload")
+        kind = _choice_field(data, "kind", cls.kind, "workload", tuple(list_workloads()))
+        params = _require_mapping(data.get("params"), "workload.params")
+        accepted = workload_params(kind)
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            raise ScenarioError(
+                f"workload {kind!r} does not take parameters {unknown}; "
+                f"accepted: {sorted(accepted) or 'none'}"
+            )
+        return cls(
+            kind=kind,
+            num_qubits=_int_field(data, "num_qubits", cls.num_qubits, "workload", minimum=2),
+            params=params,
+        )
+
+
+@dataclass(frozen=True)
+class PhysicsSpec:
+    """Resource allocation and physical timing knobs."""
+
+    teleporters: int = 2
+    generators: int = 2
+    purifiers: int = 1
+    queue_depth: int = 3
+    protocol: str = "dejmps"
+    logical_gate_us: float = 300.0
+    generator_bandwidth_scale: float = 1.0
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PhysicsSpec":
+        data = _require_mapping(data, "physics")
+        _reject_unknown(
+            data,
+            (
+                "teleporters",
+                "generators",
+                "purifiers",
+                "queue_depth",
+                "protocol",
+                "logical_gate_us",
+                "generator_bandwidth_scale",
+            ),
+            "physics",
+        )
+        protocol = data.get("protocol", cls.protocol)
+        if not isinstance(protocol, str) or not protocol.strip():
+            raise ScenarioError(f"physics.protocol must be a non-empty string, got {protocol!r}")
+        return cls(
+            teleporters=_int_field(data, "teleporters", cls.teleporters, "physics", minimum=1),
+            generators=_int_field(data, "generators", cls.generators, "physics", minimum=1),
+            purifiers=_int_field(data, "purifiers", cls.purifiers, "physics", minimum=1),
+            queue_depth=_int_field(data, "queue_depth", cls.queue_depth, "physics", minimum=1),
+            protocol=protocol.strip().lower(),
+            logical_gate_us=_float_field(
+                data, "logical_gate_us", cls.logical_gate_us, "physics", minimum=0.0
+            ),
+            generator_bandwidth_scale=_float_field(
+                data,
+                "generator_bandwidth_scale",
+                cls.generator_bandwidth_scale,
+                "physics",
+                minimum=0.0,
+                exclusive=True,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """How the scenario executes: layout, allocator, routing, limits."""
+
+    layout: str = "home_base"
+    allocator: str = "incremental"
+    routing: str = "xy"
+    max_events: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RuntimeSpec":
+        data = _require_mapping(data, "runtime")
+        _reject_unknown(data, ("layout", "allocator", "routing", "max_events"), "runtime")
+        max_events = data.get("max_events")
+        if max_events is not None:
+            max_events = _int_field(data, "max_events", 1, "runtime", minimum=1)
+        layout = _choice_field(data, "layout", cls.layout, "runtime", tuple(LAYOUT_ALIASES))
+        return cls(
+            layout=LAYOUT_ALIASES[layout],
+            allocator=_choice_field(data, "allocator", cls.allocator, "runtime", ALLOCATOR_NAMES),
+            routing=_choice_field(data, "routing", cls.routing, "runtime", ROUTING_NAMES),
+            max_events=max_events,
+        )
+
+
+#: Top-level scenario keys (``extends`` is consumed by the loader).
+SECTION_KEYS = ("topology", "workload", "physics", "runtime")
+TOP_LEVEL_KEYS = ("name", "description", "extends") + SECTION_KEYS
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-resolved, validated scenario."""
+
+    name: str
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    physics: PhysicsSpec = field(default_factory=PhysicsSpec)
+    runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    description: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Any, *, name: Optional[str] = None) -> "ScenarioSpec":
+        """Validate a scenario mapping (already inheritance-resolved)."""
+        data = _require_mapping(data, "scenario")
+        if "extends" in data:
+            raise ScenarioError(
+                "unresolved 'extends' in scenario mapping; resolve it through "
+                "repro.scenarios.loader before validation"
+            )
+        _reject_unknown(data, TOP_LEVEL_KEYS, "scenario")
+        resolved_name = data.get("name", name)
+        if not isinstance(resolved_name, str) or not resolved_name.strip():
+            raise ScenarioError(f"scenario.name must be a non-empty string, got {resolved_name!r}")
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            raise ScenarioError(f"scenario.description must be a string, got {description!r}")
+        return cls(
+            name=resolved_name.strip(),
+            topology=TopologySpec.from_dict(data.get("topology")),
+            workload=WorkloadSpec.from_dict(data.get("workload")),
+            physics=PhysicsSpec.from_dict(data.get("physics")),
+            runtime=RuntimeSpec.from_dict(data.get("runtime")),
+            description=description,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; ``from_dict`` round-trips it exactly."""
+        return asdict(self)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The dict form minus the cosmetic fields (name, description).
+
+        This is what result-cache keys and :attr:`spec_hash` are computed
+        from, so renaming or re-describing a scenario neither invalidates nor
+        duplicates its cached results.
+        """
+        payload = self.to_dict()
+        payload.pop("name")
+        payload.pop("description")
+        return payload
+
+    def with_name(self, name: str) -> "ScenarioSpec":
+        return replace(self, name=name)
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable short hash of everything that affects the result.
+
+        The name and description are cosmetic, so two differently-named specs
+        describing the same experiment share a hash (and a cache slot).
+        """
+        from ..runtime.cache import parameter_hash
+
+        return parameter_hash(self.canonical_dict())
+
+    @property
+    def label(self) -> str:
+        topo = self.topology
+        size = f"{topo.width}" if topo.height in (None, 1) else f"{topo.width}x{topo.height}"
+        if topo.kind in ("mesh", "torus") and topo.height is None:
+            size = f"{topo.width}x{topo.width}"
+        return (
+            f"{topo.kind}[{size}] {self.workload.kind}({self.workload.num_qubits}) "
+            f"{self.runtime.layout} t={self.physics.teleporters} "
+            f"g={self.physics.generators} p={self.physics.purifiers}"
+        )
+
+
+def apply_overrides(data: Mapping[str, Any], overrides: Mapping[str, Any]) -> Dict[str, Any]:
+    """Apply dotted-path overrides to a scenario mapping.
+
+    ``{"topology.kind": "ring"}`` sets ``data["topology"]["kind"]``; missing
+    intermediate mappings are created.  Returns a new deep-merged dict.
+    """
+    result = deep_merge({}, data)
+    for dotted, value in overrides.items():
+        if not isinstance(dotted, str) or not dotted.strip():
+            raise ScenarioError(f"override keys must be dotted strings, got {dotted!r}")
+        parts = [p for p in dotted.split(".") if p]
+        cursor: Dict[str, Any] = result
+        for part in parts[:-1]:
+            nxt = cursor.get(part)
+            if nxt is None:
+                nxt = {}
+                cursor[part] = nxt
+            elif not isinstance(nxt, dict):
+                raise ScenarioError(
+                    f"override {dotted!r} descends into non-mapping {part!r}"
+                )
+            cursor = nxt
+        cursor[parts[-1]] = value
+    return result
+
+
+def deep_merge(base: Mapping[str, Any], override: Mapping[str, Any]) -> Dict[str, Any]:
+    """Recursively merge ``override`` into ``base`` (mappings merge, rest replace)."""
+    result: Dict[str, Any] = {}
+    for key, value in base.items():
+        result[key] = deep_merge({}, value) if isinstance(value, Mapping) else value
+    for key, value in override.items():
+        current = result.get(key)
+        if isinstance(current, Mapping) and isinstance(value, Mapping):
+            result[key] = deep_merge(current, value)
+        elif isinstance(value, Mapping):
+            result[key] = deep_merge({}, value)
+        else:
+            result[key] = value
+    return result

@@ -16,10 +16,10 @@ from ..core.logical import LogicalQubitEncoding, STEANE_LEVEL_2
 from ..core.placement import PurificationPlacement, endpoint_only
 from ..core.planner import ChannelPlanner
 from ..errors import ConfigurationError
+from ..network.fabrics import build_topology
 from ..network.layout import MachineLayout, build_layout
 from ..network.nodes import ResourceAllocation
 from ..network.routing import DimensionOrder
-from ..network.topology import MeshTopology
 from ..physics.parameters import IonTrapParameters
 
 
@@ -34,11 +34,12 @@ class MachineConfig:
     num_qubits: int
     logical_gate_us: float
     protocol: str
+    topology_kind: str = "mesh"
 
     @property
     def label(self) -> str:
         return (
-            f"{self.width}x{self.height} {self.layout_name} "
+            f"{self.width}x{self.height} {self.topology_kind} {self.layout_name} "
             f"{self.allocation.label}"
         )
 
@@ -71,6 +72,7 @@ class QuantumMachine:
         width: int,
         height: Optional[int] = None,
         *,
+        topology_kind: str = "mesh",
         allocation: Optional[ResourceAllocation] = None,
         layout: str = "home_base",
         num_qubits: Optional[int] = None,
@@ -80,18 +82,30 @@ class QuantumMachine:
         encoding: LogicalQubitEncoding = STEANE_LEVEL_2,
         logical_gate_us: float = 300.0,
         routing_order: DimensionOrder = DimensionOrder.XY,
+        generator_bandwidth_scale: float = 1.0,
     ) -> None:
         if logical_gate_us < 0:
             raise ConfigurationError(f"logical_gate_us must be non-negative, got {logical_gate_us}")
-        height = height or width
+        if generator_bandwidth_scale <= 0:
+            raise ConfigurationError(
+                f"generator_bandwidth_scale must be positive, got {generator_bandwidth_scale}"
+            )
         self.allocation = allocation or ResourceAllocation()
         self.params = params or IonTrapParameters.default()
         self.placement = placement or endpoint_only()
         self.encoding = encoding
         self.protocol = protocol
         self.logical_gate_us = logical_gate_us
-        self.topology = MeshTopology(width, height, self.allocation, cells_per_hop=self.params.cells_per_hop)
-        self.num_qubits = num_qubits or (width * height)
+        self.generator_bandwidth_scale = generator_bandwidth_scale
+        self.topology = build_topology(
+            topology_kind,
+            width,
+            height,
+            allocation=self.allocation,
+            cells_per_hop=self.params.cells_per_hop,
+        )
+        self.topology_kind = topology_kind
+        self.num_qubits = num_qubits or self.topology.node_count
         self.layout: MachineLayout = build_layout(layout, self.topology, self.num_qubits)
         self.layout_name = self.layout.name
         self.planner = ChannelPlanner(
@@ -130,11 +144,13 @@ class QuantumMachine:
             num_qubits=self.num_qubits,
             logical_gate_us=self.logical_gate_us,
             protocol=self.protocol,
+            topology_kind=self.topology_kind,
         )
 
     def describe(self) -> str:
         return (
             f"QuantumMachine {self.topology.width}x{self.topology.height} "
+            f"{self.topology_kind} "
             f"({self.num_qubits} logical qubits, {self.layout_name} layout, "
             f"{self.allocation.label}, {self.protocol.upper()})"
         )
@@ -150,8 +166,13 @@ class QuantumMachine:
         return max(self.allocation.teleporters_per_node / 2.0, 0.5)
 
     def generator_bandwidth_per_link(self) -> float:
-        """Generators available on each virtual-wire link."""
-        return float(self.allocation.generators_per_node)
+        """Generators available on each virtual-wire link.
+
+        ``generator_bandwidth_scale`` models faster or slower ancilla (EPR
+        pair) factories than the allocation's integer count — the scenario
+        engine sweeps it continuously.
+        """
+        return float(self.allocation.generators_per_node) * self.generator_bandwidth_scale
 
     def purifier_bandwidth_per_node(self) -> float:
         """Queue purifiers available at each endpoint P node."""

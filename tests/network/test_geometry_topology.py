@@ -51,8 +51,19 @@ class TestLinkId:
         assert not LinkId(Coordinate(1, 1), Coordinate(1, 2)).horizontal
 
     def test_rejects_non_adjacent(self):
+        # Diagonal jumps and colinear jumps away from the zero edge can never
+        # be links, not even on a wrapping fabric.
         with pytest.raises(ConfigurationError):
-            LinkId(Coordinate(0, 0), Coordinate(2, 0))
+            LinkId(Coordinate(0, 0), Coordinate(2, 1))
+        with pytest.raises(ConfigurationError):
+            LinkId(Coordinate(1, 0), Coordinate(3, 0))
+
+    def test_accepts_wrap_links(self):
+        # The long-way-around link of a ring or torus joins node 0 to the far
+        # edge of its dimension.
+        assert LinkId(Coordinate(0, 0), Coordinate(7, 0)).is_wrap
+        assert LinkId(Coordinate(2, 0), Coordinate(2, 4)).is_wrap
+        assert not LinkId(Coordinate(0, 0), Coordinate(1, 0)).is_wrap
 
 
 class TestMeshTopology:

@@ -64,7 +64,20 @@ class TestDimensionOrderRoute:
 
     def test_path_rejects_non_adjacent_nodes(self):
         with pytest.raises(RoutingError):
+            Path((Coordinate(0, 0), Coordinate(2, 1)))
+        with pytest.raises(RoutingError):
+            Path((Coordinate(1, 0), Coordinate(3, 0)))
+        # Without declared wrap extents even a zero-edge jump is invalid.
+        with pytest.raises(RoutingError):
             Path((Coordinate(0, 0), Coordinate(2, 0)))
+
+    def test_path_wrap_steps_must_match_declared_extent(self):
+        # The exact boundary link of a 9-wide ring is valid...
+        path = Path((Coordinate(0, 0), Coordinate(8, 0)), wraps=(9, 0))
+        assert path.hops == 1
+        # ...but an interior jump on the same ring is not a link.
+        with pytest.raises(RoutingError):
+            Path((Coordinate(0, 0), Coordinate(5, 0)), wraps=(9, 0))
 
     def test_route_many(self):
         paths = route_many([(Coordinate(0, 0), Coordinate(1, 1)), (Coordinate(2, 2), Coordinate(0, 2))])

@@ -1,5 +1,8 @@
 """Tests for the runtime layer: cache, parallel runner and CLI."""
 
+import os
+import shutil
+
 import pytest
 
 from repro.analysis.fig16 import allocation_for_ratio
@@ -7,7 +10,12 @@ from repro.analysis.series import TableData
 from repro.analysis.sweeps import linear_space
 from repro.errors import ConfigurationError
 from repro.network.nodes import ResourceAllocation
-from repro.runtime.cache import ResultCache, parameter_hash, source_fingerprint
+from repro.runtime.cache import (
+    ResultCache,
+    fingerprinted_files,
+    parameter_hash,
+    source_fingerprint,
+)
 from repro.runtime.cli import main
 from repro.runtime.runner import ExperimentRunner
 
@@ -41,6 +49,33 @@ class TestParameterHash:
         # process it must be a constant.
         assert source_fingerprint() == source_fingerprint()
         assert len(source_fingerprint()) == 16
+
+    def test_source_fingerprint_covers_scenarios_package(self):
+        # Cached artefacts must be invalidated by spec-schema edits, so the
+        # scenario modules have to be part of the fingerprint.
+        covered = set(fingerprinted_files())
+        assert os.path.join("scenarios", "spec.py") in covered
+        assert os.path.join("scenarios", "catalog.py") in covered
+        assert os.path.join("runtime", "cache.py") in covered
+        assert not any("__pycache__" in path for path in covered)
+
+    def test_scenario_edit_changes_fingerprint(self, tmp_path):
+        # Simulate a spec-schema edit on a copy of the package: the
+        # fingerprint must change, which is what flushes stale cache entries.
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        copy_root = str(tmp_path / "repro")
+        shutil.copytree(
+            package_root,
+            copy_root,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        before = source_fingerprint(copy_root)
+        assert before == source_fingerprint(package_root)
+        with open(os.path.join(copy_root, "scenarios", "spec.py"), "a") as handle:
+            handle.write("\n# schema tweak\n")
+        assert source_fingerprint(copy_root) != before
 
 
 class TestResultCache:

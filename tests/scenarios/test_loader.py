@@ -1,0 +1,142 @@
+"""Loader tests: parsing, inheritance, bundles, sweep expansion, files."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    expand_grid,
+    get_scenario,
+    list_scenarios,
+    load_scenario_file,
+    load_scenarios,
+    parse_text,
+    resolve_scenario,
+)
+
+
+class TestParseText:
+    def test_json(self):
+        assert parse_text('{"a": 1}') == {"a": 1}
+
+    def test_yaml_fallback(self):
+        pytest.importorskip("yaml")
+        data = parse_text("topology:\n  kind: ring\n  width: 9\n")
+        assert data == {"topology": {"kind": "ring", "width": 9}}
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ScenarioError, match="parses as neither JSON|not valid JSON"):
+            parse_text("{unclosed: [")
+
+
+class TestCatalog:
+    def test_every_builtin_resolves(self):
+        for name in list_scenarios():
+            spec = get_scenario(name)
+            assert spec.name == name
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            get_scenario("not_a_scenario")
+
+    def test_extends_merges_catalog_entry(self):
+        mobile = get_scenario("paper_mobile")
+        baseline = get_scenario("paper_baseline")
+        assert mobile.runtime.layout == "mobile_qubit"
+        assert mobile.topology == baseline.topology
+        assert mobile.workload == baseline.workload
+
+
+class TestInheritance:
+    def test_extends_chain_through_library(self):
+        library = {
+            "child": {"extends": "paper_baseline", "workload": {"num_qubits": 9}},
+            "grandchild": {"extends": "child", "runtime": {"allocator": "reference"}},
+        }
+        spec = resolve_scenario(library["grandchild"], name="g", library=library)
+        assert spec.workload.num_qubits == 9
+        assert spec.runtime.allocator == "reference"
+        assert spec.topology.kind == "mesh"  # inherited from the catalog root
+
+    def test_cycle_detected(self):
+        library = {
+            "a": {"extends": "b"},
+            "b": {"extends": "a"},
+        }
+        with pytest.raises(ScenarioError, match="circular scenario inheritance"):
+            resolve_scenario(library["a"], name="a", library=library)
+
+    def test_unknown_parent(self):
+        with pytest.raises(ScenarioError, match="unknown scenario 'nope'"):
+            resolve_scenario({"extends": "nope"}, name="x")
+
+
+class TestBundlesAndSweeps:
+    def test_bundle_mapping(self):
+        specs = load_scenarios(
+            {
+                "scenarios": {
+                    "one": {"extends": "smoke"},
+                    "two": {"extends": "one", "workload": {"num_qubits": 5}},
+                }
+            }
+        )
+        by_name = {spec.name: spec for spec in specs}
+        assert set(by_name) == {"one", "two"}
+        assert by_name["two"].workload.num_qubits == 5
+        assert by_name["two"].topology == by_name["one"].topology
+
+    def test_bundle_list_requires_names(self):
+        with pytest.raises(ScenarioError, match="needs a 'name'"):
+            load_scenarios({"scenarios": [{"topology": {"kind": "mesh"}}]})
+
+    def test_sweep_expansion(self):
+        specs = load_scenarios(
+            {
+                "name": "x",
+                "base": "ring_qft",
+                "sweep": {"topology.kind": ["mesh", "ring"], "workload.num_qubits": [6, 8]},
+            }
+        )
+        assert len(specs) == 4
+        assert {s.topology.kind for s in specs} == {"mesh", "ring"}
+        assert {s.workload.num_qubits for s in specs} == {6, 8}
+        assert all(s.name.startswith("x/") for s in specs)
+        # Each grid point is distinct work.
+        assert len({s.spec_hash for s in specs}) == 4
+
+    def test_sweep_axis_must_be_list(self):
+        with pytest.raises(ScenarioError, match="non-empty list"):
+            expand_grid({"extends": "smoke"}, {"topology.kind": "mesh"})
+
+    def test_mixing_shapes_rejected(self):
+        with pytest.raises(ScenarioError, match="mixes"):
+            load_scenarios({"scenarios": {}, "sweep": {}})
+
+    def test_grid_point_validation_errors_surface(self):
+        with pytest.raises(ScenarioError, match="topology.kind"):
+            expand_grid({"extends": "smoke"}, {"topology.kind": ["mesh", "bogus"]})
+
+
+class TestFiles:
+    def test_json_file_round_trip(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            '{"name": "filed", "extends": "smoke", "workload": {"num_qubits": 4}}'
+        )
+        (spec,) = load_scenario_file(str(path))
+        assert spec.name == "filed"
+        assert spec.workload.num_qubits == 4
+
+    def test_yaml_sweep_file(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "sweep.yaml"
+        path.write_text(
+            "name: demo\nbase: ring_qft\nsweep:\n"
+            "  topology.kind: [mesh, ring]\n"
+        )
+        specs = load_scenario_file(str(path))
+        assert [s.topology.kind for s in specs] == ["mesh", "ring"]
+
+    def test_missing_file(self):
+        with pytest.raises(ScenarioError, match="cannot read scenario file"):
+            load_scenario_file("/nonexistent/scenarios.yaml")

@@ -1,0 +1,213 @@
+"""End-to-end scenario tests: build, run, allocator parity, runner and CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.cli import main
+from repro.runtime.runner import ExperimentRunner
+from repro.scenarios import (
+    ScenarioSpec,
+    build_machine,
+    build_stream,
+    default_grid,
+    get_scenario,
+    run_scenario,
+)
+
+
+class TestBuild:
+    def test_machine_matches_spec(self):
+        spec = get_scenario("torus_permutation")
+        machine = build_machine(spec)
+        assert machine.topology.fabric == "torus"
+        assert machine.topology.wrap_x and machine.topology.wrap_y
+        assert machine.num_qubits == 16
+        assert machine.allocation.teleporters_per_node == 2
+
+    def test_stream_matches_spec(self):
+        spec = get_scenario("line_neighbours")
+        stream = build_stream(spec)
+        assert stream.num_qubits == 8
+        assert "nearest_neighbour" in stream.name
+
+    def test_bandwidth_scale_reaches_machine(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "fast_factories",
+                "topology": {"kind": "mesh", "width": 3},
+                "workload": {"kind": "qft", "num_qubits": 4},
+                "physics": {"generators": 2, "generator_bandwidth_scale": 2.5},
+            }
+        )
+        machine = build_machine(spec)
+        assert machine.generator_bandwidth_per_link() == pytest.approx(5.0)
+
+
+class TestRunScenario:
+    def test_round_trip_spec_build_run_results(self):
+        spec = get_scenario("smoke")
+        record = run_scenario(spec)
+        assert record["name"] == "smoke"
+        assert record["spec_hash"] == spec.spec_hash
+        assert record["makespan_us"] > 0
+        assert record["operations"] == 15  # QFT on 6 qubits
+        assert record["channel_count"] == 30  # two communications per op
+        # The record round-trips through JSON (what --emit-bench relies on)
+        # and through the spec codec.
+        assert json.loads(json.dumps(record))["spec"] == spec.to_dict()
+        assert ScenarioSpec.from_dict(record["spec"]) == spec
+
+    def test_accepts_plain_mapping(self):
+        record = run_scenario(get_scenario("smoke").to_dict())
+        assert record["name"] == "smoke"
+
+    def test_qubits_must_fit_fabric(self):
+        spec_dict = get_scenario("ring_qft").to_dict()
+        spec_dict["workload"]["num_qubits"] = 10  # ring has 9 nodes
+        with pytest.raises(ConfigurationError, match="do not fit"):
+            run_scenario(spec_dict)
+
+    def test_wrap_fabric_shortens_makespan(self):
+        # Same workload and physics; the ring's wrap links shorten the mean
+        # channel, so it must not be slower than the line.
+        line = run_scenario(
+            ScenarioSpec.from_dict(
+                {
+                    "name": "l",
+                    "topology": {"kind": "line", "width": 9},
+                    "workload": {"kind": "qft", "num_qubits": 8},
+                }
+            )
+        )
+        ring = run_scenario(
+            ScenarioSpec.from_dict(
+                {
+                    "name": "r",
+                    "topology": {"kind": "ring", "width": 9},
+                    "workload": {"kind": "qft", "num_qubits": 8},
+                }
+            )
+        )
+        assert ring["total_hops"] < line["total_hops"]
+        assert ring["makespan_us"] < line["makespan_us"]
+
+    def test_allocators_agree_on_wrap_fabrics(self):
+        # The incremental/reference parity must survive the new fabrics.
+        for name in ("ring_qft", "torus_permutation"):
+            base = get_scenario(name).to_dict()
+            makespans = {}
+            for allocator in ("incremental", "reference"):
+                data = json.loads(json.dumps(base))
+                data["runtime"]["allocator"] = allocator
+                makespans[allocator] = run_scenario(data)["makespan_us"]
+            assert makespans["incremental"] == pytest.approx(
+                makespans["reference"], abs=1e-6
+            )
+
+
+class TestRunnerIntegration:
+    def test_grid_sweeps_through_pool_with_cache(self, tmp_path):
+        specs = default_grid(("mesh", "ring"), ("permutation",))
+        runner = ExperimentRunner(workers=2, cache_dir=str(tmp_path))
+        grid = [{"spec": spec.to_dict()} for spec in specs]
+        first = runner.sweep_records(run_scenario, grid)
+        assert [p.cached for p in first] == [False, False]
+        second = runner.sweep_records(run_scenario, grid)
+        assert [p.cached for p in second] == [True, True]
+        assert [p.result["makespan_us"] for p in second] == [
+            p.result["makespan_us"] for p in first
+        ]
+
+    def test_corrupt_cache_entry_reports_recompute_not_hit(self, tmp_path):
+        spec = get_scenario("smoke")
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        grid = [{"spec": spec.to_dict()}]
+        (point,) = runner.sweep_records(run_scenario, grid)
+        with open(runner.cache.path_for(point.cache_key), "wb") as handle:
+            handle.write(b"truncated")
+        (again,) = runner.sweep_records(run_scenario, grid)
+        # The entry existed on disk but could not be served: the point must
+        # report a recompute, not a hit (the bench trajectory depends on it).
+        assert not again.cached
+        assert again.result["makespan_us"] == point.result["makespan_us"]
+
+
+class TestCli:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "torus_permutation" in out
+
+    def test_scenarios_run_named(self, tmp_path, capsys):
+        code = main(["scenarios", "run", "smoke", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "makespan" in out
+
+    def test_scenarios_run_unknown_name(self, tmp_path, capsys):
+        code = main(["scenarios", "run", "nope", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown scenario names" in capsys.readouterr().err
+
+    def test_scenarios_sweep_emits_bench_and_caches(self, tmp_path, capsys):
+        bench_path = tmp_path / "BENCH_test.json"
+        argv = [
+            "scenarios",
+            "sweep",
+            "--topologies",
+            "mesh,torus",
+            "--workloads",
+            "permutation",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--emit-bench",
+            str(bench_path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(bench_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["scenario_count"] == 2
+        assert payload["cache_hits"] == 0
+        assert {s["topology_kind"] for s in payload["scenarios"]} == {"mesh", "torus"}
+        assert all(s["makespan_us"] > 0 for s in payload["scenarios"])
+        # Second run: everything is served from the cache and the payload
+        # records it (the CI trajectory separates free points from computed).
+        assert main(argv) == 0
+        payload = json.loads(bench_path.read_text())
+        assert payload["cache_hits"] == 2
+        assert payload["computed_wall_time_s"] == 0.0
+
+    def test_scenarios_sweep_from_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "filegrid",
+                    "base": "smoke",
+                    "sweep": {"workload.num_qubits": [4, 6]},
+                }
+            )
+        )
+        code = main(
+            [
+                "scenarios",
+                "sweep",
+                "--spec",
+                str(path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "filegrid/workload.num_qubits=4" in out
+        assert "filegrid/workload.num_qubits=6" in out
+
+    def test_malformed_spec_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "bad", "topology": {"kind": "hypercube"}}')
+        code = main(["scenarios", "run", "--spec", str(path)])
+        assert code == 2
+        assert "topology.kind" in capsys.readouterr().err

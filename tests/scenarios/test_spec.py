@@ -1,0 +1,157 @@
+"""Scenario spec codec: round-trips, validation errors, overrides, hashing."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import ScenarioSpec, apply_overrides, deep_merge
+from repro.scenarios.spec import PhysicsSpec, RuntimeSpec, TopologySpec, WorkloadSpec
+
+
+def minimal(name="t"):
+    return {
+        "name": name,
+        "topology": {"kind": "ring", "width": 9},
+        "workload": {"kind": "qft", "num_qubits": 8},
+    }
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_fill_missing_sections(self):
+        spec = ScenarioSpec.from_dict({"name": "defaults"})
+        assert spec.topology == TopologySpec()
+        assert spec.workload == WorkloadSpec()
+        assert spec.physics == PhysicsSpec()
+        assert spec.runtime == RuntimeSpec()
+
+    def test_params_round_trip(self):
+        data = minimal()
+        data["workload"] = {"kind": "random", "num_qubits": 6, "params": {"seed": 9}}
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.workload.params == {"seed": 9}
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ScenarioError, match="unknown keys.*frobnicate"):
+            ScenarioSpec.from_dict({**minimal(), "frobnicate": 1})
+
+    def test_unknown_section_key(self):
+        data = minimal()
+        data["topology"]["wormholes"] = True
+        with pytest.raises(ScenarioError, match="topology has unknown keys"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_topology_kind(self):
+        data = minimal()
+        data["topology"]["kind"] = "hypercube"
+        with pytest.raises(ScenarioError, match="topology.kind"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_workload_kind(self):
+        data = minimal()
+        data["workload"]["kind"] = "grover"
+        with pytest.raises(ScenarioError, match="workload.kind"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_workload_param(self):
+        data = minimal()
+        data["workload"]["params"] = {"rounds": 2}  # qft takes none
+        with pytest.raises(ScenarioError, match="does not take parameters"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_types_rejected(self):
+        data = minimal()
+        data["topology"]["width"] = "wide"
+        with pytest.raises(ScenarioError, match="topology.width must be an integer"):
+            ScenarioSpec.from_dict(data)
+
+    def test_out_of_range_rejected(self):
+        data = minimal()
+        data["workload"]["num_qubits"] = 1
+        with pytest.raises(ScenarioError, match="workload.num_qubits must be >= 2"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bool_is_not_an_integer(self):
+        data = minimal()
+        data["topology"]["width"] = True
+        with pytest.raises(ScenarioError, match="must be an integer"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_allocator_rejected(self):
+        data = minimal()
+        data["runtime"] = {"allocator": "magic"}
+        with pytest.raises(ScenarioError, match="runtime.allocator"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_routing_rejected(self):
+        data = minimal()
+        data["runtime"] = {"routing": "zigzag"}
+        with pytest.raises(ScenarioError, match="runtime.routing"):
+            ScenarioSpec.from_dict(data)
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ScenarioError, match="scenario.name"):
+            ScenarioSpec.from_dict({"topology": {"kind": "mesh"}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ScenarioError, match="must be a mapping"):
+            ScenarioSpec.from_dict([1, 2, 3])
+
+    def test_unresolved_extends_rejected(self):
+        with pytest.raises(ScenarioError, match="unresolved 'extends'"):
+            ScenarioSpec.from_dict({**minimal(), "extends": "paper_baseline"})
+
+    def test_zero_bandwidth_scale_rejected(self):
+        data = minimal()
+        data["physics"] = {"generator_bandwidth_scale": 0}
+        with pytest.raises(ScenarioError, match="generator_bandwidth_scale"):
+            ScenarioSpec.from_dict(data)
+
+
+class TestSpecHash:
+    def test_name_and_description_do_not_affect_hash(self):
+        a = ScenarioSpec.from_dict({**minimal("a"), "description": "x"})
+        b = ScenarioSpec.from_dict({**minimal("b"), "description": "y"})
+        assert a.spec_hash == b.spec_hash
+
+    def test_content_changes_hash(self):
+        a = ScenarioSpec.from_dict(minimal())
+        data = minimal()
+        data["workload"]["num_qubits"] = 6
+        b = ScenarioSpec.from_dict(data)
+        assert a.spec_hash != b.spec_hash
+
+    def test_layout_aliases_normalise_to_one_hash(self):
+        hashes = set()
+        for alias in ("home_base", "homebase"):
+            data = minimal()
+            data["runtime"] = {"layout": alias}
+            spec = ScenarioSpec.from_dict(data)
+            assert spec.runtime.layout == "home_base"
+            hashes.add(spec.spec_hash)
+        assert len(hashes) == 1
+
+
+class TestOverrides:
+    def test_dotted_override(self):
+        data = apply_overrides(minimal(), {"topology.kind": "mesh", "physics.purifiers": 2})
+        assert data["topology"]["kind"] == "mesh"
+        assert data["physics"]["purifiers"] == 2
+        # The original is untouched.
+        assert minimal()["topology"]["kind"] == "ring"
+
+    def test_override_into_non_mapping_rejected(self):
+        with pytest.raises(ScenarioError, match="descends into non-mapping"):
+            apply_overrides({"name": "x"}, {"name.deep": 1})
+
+    def test_deep_merge_merges_sections(self):
+        merged = deep_merge(
+            {"physics": {"teleporters": 4, "purifiers": 1}},
+            {"physics": {"purifiers": 2}},
+        )
+        assert merged == {"physics": {"teleporters": 4, "purifiers": 2}}

@@ -6,7 +6,6 @@ from repro.core.placement import virtual_wire
 from repro.errors import SimulationError
 from repro.network.nodes import ResourceAllocation
 from repro.sim.machine import QuantumMachine
-from repro.sim.results import SimulationResult
 from repro.sim.simulator import CommunicationSimulator
 from repro.workloads.instructions import InstructionStream
 from repro.workloads.qft import qft_stream
