@@ -14,6 +14,10 @@ Subcommands
     file-defined scenarios, or fan a topology x workload grid across the
     pool.  ``--emit-bench out.json`` writes the machine-readable benchmark
     payload the CI perf trajectory records.
+``verify run|record|diff``
+    The differential-verification harness (see :mod:`repro.verify.cli`):
+    replay scenarios under both allocators and diff their dynamics, or
+    record/diff canonical golden traces under ``tests/golden/``.
 
 ``run``, ``report`` and the scenario commands execute through
 :class:`repro.runtime.ExperimentRunner`, so independent experiments run
@@ -152,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_io_options(sc_sweep)
     _add_runner_options(sc_sweep)
+
+    # Imported lazily (like the experiment/scenario handlers below) so bare
+    # invocations never pay the simulation-stack import behind repro.verify.
+    from ..verify.cli import add_verify_parser
+
+    add_verify_parser(subparsers)
     return parser
 
 
@@ -202,15 +212,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
 # -- scenario commands --------------------------------------------------------------
 
 
-def _file_or_catalog_specs(spec_path: Optional[str]):
-    """Scenario specs from ``--spec FILE``, else the built-in catalog."""
-    from ..scenarios import get_scenario, list_scenarios, load_scenario_file
-
-    if spec_path:
-        return load_scenario_file(spec_path)
-    return [get_scenario(name) for name in list_scenarios()]
-
-
 def _require_specs(specs, source: str):
     if not specs:
         from ..errors import ScenarioError
@@ -220,7 +221,9 @@ def _require_specs(specs, source: str):
 
 
 def _cmd_scenarios_list(args: argparse.Namespace) -> int:
-    specs = _require_specs(_file_or_catalog_specs(args.spec), args.spec or "the catalog")
+    from ..scenarios import select_scenarios
+
+    specs = _require_specs(select_scenarios(spec_path=args.spec), args.spec or "the catalog")
     width = max(len(spec.name) for spec in specs)
     for spec in specs:
         description = spec.description or spec.label
@@ -270,18 +273,9 @@ def _execute_scenarios(specs, args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
-    from ..errors import ScenarioError
+    from ..scenarios import select_scenarios
 
-    specs = _file_or_catalog_specs(args.spec)
-    if args.names:
-        by_name = {spec.name: spec for spec in specs}
-        missing = [name for name in args.names if name not in by_name]
-        if missing:
-            raise ScenarioError(
-                f"unknown scenario names {missing}; available: {sorted(by_name)}"
-            )
-        specs = [by_name[name] for name in args.names]
-    return _execute_scenarios(specs, args)
+    return _execute_scenarios(select_scenarios(args.names or None, args.spec), args)
 
 
 def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
@@ -330,6 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "scenarios":
             return _cmd_scenarios(args)
+        if args.command == "verify":
+            from ..verify.cli import cmd_verify
+
+            return cmd_verify(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -24,6 +24,7 @@ from .loader import (
     load_scenarios,
     parse_text,
     resolve_scenario,
+    select_scenarios,
 )
 from .catalog import default_grid, get_scenario, list_scenarios
 from .run import build_machine, build_stream, run_scenario
@@ -50,5 +51,6 @@ __all__ = [
     "parse_text",
     "resolve_scenario",
     "run_scenario",
+    "select_scenarios",
     "write_bench_file",
 ]

@@ -200,3 +200,29 @@ def load_scenario_file(path: str) -> List[ScenarioSpec]:
     except OSError as exc:
         raise ScenarioError(f"cannot read scenario file {path!r}: {exc}") from exc
     return load_scenarios(parse_text(text, source=path), source=path)
+
+
+def select_scenarios(
+    names: Optional[Sequence[str]] = None, spec_path: Optional[str] = None
+) -> List[ScenarioSpec]:
+    """The scenario selection every CLI shares: a file or the catalog, by name.
+
+    ``spec_path`` loads a JSON/YAML scenario file, otherwise the full
+    built-in catalog is the source; ``names`` restricts the result (in the
+    order given), and unknown names raise listing what was available.
+    """
+    from .catalog import get_scenario, list_scenarios
+
+    if spec_path:
+        specs = load_scenario_file(spec_path)
+    else:
+        specs = [get_scenario(name) for name in list_scenarios()]
+    if names:
+        by_name = {spec.name: spec for spec in specs}
+        missing = [name for name in names if name not in by_name]
+        if missing:
+            raise ScenarioError(
+                f"unknown scenario names {missing}; available: {sorted(by_name)}"
+            )
+        specs = [by_name[name] for name in names]
+    return specs

@@ -110,12 +110,16 @@ class DetailedChannelSetup:
         good_pairs_needed: Optional[int] = None,
         link_buffer: Optional[int] = None,
         max_pairs_in_flight: Optional[int] = None,
+        trace=None,
     ) -> None:
         if plan.hops < 1:
             raise SimulationError("a channel plan must span at least one hop")
         self.machine = machine
         self.plan = plan
-        self.engine = SimulationEngine()
+        # The generators, teleporters and purifier below discover the trace
+        # bus through the engine, so attaching one here traces the whole
+        # per-pair pipeline (generation, swaps, purification milestones).
+        self.engine = SimulationEngine(trace=trace)
         self.good_pairs_needed = (
             good_pairs_needed
             if good_pairs_needed is not None

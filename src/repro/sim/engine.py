@@ -11,9 +11,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..errors import SimulationError
+from ..trace.records import EventDispatched
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace import TraceBus
+
+#: Compaction trigger: never compact heaps smaller than this (the rebuild
+#: would cost more than the dead entries), and above it only when more than
+#: half the heap is cancelled — which bounds the heap at ~2x the live events.
+_COMPACT_MIN_HEAP = 64
 
 
 @dataclass(order=True)
@@ -29,21 +38,40 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: Optional["SimulationEngine"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the heap but is skipped)."""
-        self.cancelled = True
+        """Prevent the event from firing.
+
+        The entry stays in its engine's heap (removing from the middle of a
+        binary heap is O(n)) but the engine is told, so it can compact the
+        heap once cancelled entries dominate — without that accounting a
+        workload that reschedules aggressively (the flow transport cancels
+        and reissues a completion event per reallocation) leaks heap entries
+        linearly in event count.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancellation()
 
 
 class SimulationEngine:
-    """Heap-based discrete-event loop with deterministic ordering."""
+    """Heap-based discrete-event loop with deterministic ordering.
 
-    def __init__(self) -> None:
+    ``trace`` optionally attaches a :class:`~repro.trace.TraceBus`; components
+    driving their state machines through the engine discover it there, so one
+    constructor argument wires observability through a whole simulation.
+    """
+
+    def __init__(self, *, trace: Optional["TraceBus"] = None) -> None:
         self._now = 0.0
         self._heap: List[Event] = []
         self._sequence = 0
         self._processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        self.trace = trace
 
     # -- clock -----------------------------------------------------------------
 
@@ -61,6 +89,11 @@ class SimulationEngine:
     def pending_events(self) -> int:
         """Number of events still scheduled (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (compaction input)."""
+        return self._cancelled_pending
 
     # -- scheduling ----------------------------------------------------------------
 
@@ -80,10 +113,36 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time=time, priority=priority, sequence=self._sequence, callback=callback)
+        event = Event(
+            time=time, priority=priority, sequence=self._sequence, callback=callback, owner=self
+        )
         self._sequence += 1
         heapq.heappush(self._heap, event)
         return event
+
+    # -- cancellation accounting ------------------------------------------------------
+
+    def _note_cancellation(self) -> None:
+        # Cancelling an event that already fired (possible through stale
+        # references) must not overcount: cancelled-in-heap never exceeds the
+        # heap size, so clamping keeps the counter sound either way.
+        self._cancelled_pending = min(self._cancelled_pending + 1, len(self._heap))
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Event ordering is total (time, priority, unique sequence), so
+        ``heapify`` reproduces exactly the pop order the thinned heap would
+        have had — compaction is invisible to the simulation.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     # -- execution --------------------------------------------------------------------
 
@@ -92,12 +151,21 @@ class SimulationEngine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending = max(self._cancelled_pending - 1, 0)
                 continue
             self._now = event.time
             self._processed += 1
+            if self.trace is not None:
+                self._trace_dispatch(event)
             event.callback()
             return True
         return False
+
+    def _trace_dispatch(self, event: Event) -> None:
+        if self.trace.wants(EventDispatched.kind):
+            self.trace.emit(
+                EventDispatched(t_us=event.time, sequence=event.sequence, priority=event.priority)
+            )
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event heap drains, ``until`` is reached, or ``max_events``.
@@ -126,11 +194,13 @@ class SimulationEngine:
     def _peek(self) -> Optional[Event]:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_pending = max(self._cancelled_pending - 1, 0)
         return self._heap[0] if self._heap else None
 
     def drain(self) -> None:
         """Discard all pending events (used when aborting a simulation)."""
         self._heap.clear()
+        self._cancelled_pending = 0
 
 
 class Timer:

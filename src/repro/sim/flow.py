@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..trace.records import ChannelClosed, ChannelOpened, FlowRateChanged
 from .control import PlannedCommunication
 from .engine import Event, SimulationEngine
 from .machine import QuantumMachine
@@ -150,6 +151,19 @@ class FlowTransport:
         self._flows[flow.flow_id] = flow
         for key, work in flow.demands.items():
             self._members.setdefault(key, {})[flow.flow_id] = work
+        trace = self.engine.trace
+        if trace is not None:
+            request = planned.request
+            trace.emit(
+                ChannelOpened(
+                    t_us=self.engine.now,
+                    flow_id=flow.flow_id,
+                    source=request.source.as_tuple(),
+                    destination=request.dest.as_tuple(),
+                    hops=flow.hops,
+                    purpose=request.purpose,
+                )
+            )
         self._reallocate()
 
     def utilisation_report(self, elapsed_us: float, *, clamp: bool = True) -> Dict[str, float]:
@@ -276,6 +290,9 @@ class FlowTransport:
             rates = self._max_min_rates(list(self._flows.values()))
         else:
             rates = self._max_min_rates_reference(list(self._flows.values()))
+        trace = self.engine.trace
+        if trace is not None and not trace.wants(FlowRateChanged.kind):
+            trace = None
         for flow in self._flows.values():
             new_rate = rates[flow.flow_id]
             if self._incremental and new_rate != flow.rate:
@@ -285,6 +302,14 @@ class FlowTransport:
                     self._kind_rate_sum[kind] = (
                         self._kind_rate_sum.get(kind, 0.0) + delta * work
                     )
+            if trace is not None and new_rate != flow.rate:
+                # Only genuine changes are emitted, so the rate timeline is a
+                # pure function of the fluid dynamics — identical across
+                # allocators (they compute bitwise-equal rates) and across
+                # re-runs, which is what the differential harness diffs.
+                trace.emit(
+                    FlowRateChanged(t_us=self.engine.now, flow_id=flow.flow_id, rate=new_rate)
+                )
             flow.rate = new_rate
             if flow.completion_event is not None:
                 flow.completion_event.cancel()
@@ -458,5 +483,17 @@ class FlowTransport:
                 qubit=request.qubit,
             )
         )
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(
+                ChannelClosed(
+                    t_us=self.engine.now,
+                    flow_id=flow.flow_id,
+                    source=request.source.as_tuple(),
+                    destination=request.dest.as_tuple(),
+                    hops=flow.hops,
+                    pairs_transited=flow.pairs_transited,
+                )
+            )
         flow.done(flow)
         self._reallocate()

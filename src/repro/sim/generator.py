@@ -14,6 +14,7 @@ from typing import Callable, Deque, Optional
 
 from ..errors import ConfigurationError
 from ..physics.parameters import IonTrapParameters
+from ..trace.records import EprPairGenerated
 from .engine import SimulationEngine
 from .resources import ServiceCenter
 
@@ -81,6 +82,11 @@ class LinkGenerator:
     def _pair_ready(self) -> None:
         self._in_production -= 1
         self._produced += 1
+        trace = self.engine.trace
+        if trace is not None and trace.wants(EprPairGenerated.kind):
+            trace.emit(
+                EprPairGenerated(t_us=self.engine.now, link=self.name, produced=self._produced)
+            )
         if self._waiters:
             consumer = self._waiters.popleft()
             self._consumed += 1

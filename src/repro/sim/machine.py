@@ -155,6 +155,17 @@ class QuantumMachine:
             f"{self.allocation.label}, {self.protocol.upper()})"
         )
 
+    def trace_snapshot(self, *, workload: str, operations: int, t_us: float = 0.0):
+        """The typed :class:`~repro.trace.RunStarted` header describing this machine.
+
+        Every trace opens with it, so a golden fixture is self-describing: a
+        diff against a fixture recorded on a different machine or workload
+        fails on line one instead of deep in the event stream.
+        """
+        from ..trace.records import machine_record
+
+        return machine_record(self, workload=workload, operations=operations, t_us=t_us)
+
     # -- flow-model bandwidths ------------------------------------------------------------
     #
     # Bandwidths are expressed in "servers", i.e. how many operations of the

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from ..errors import ConfigurationError
 from ..physics.parameters import IonTrapParameters
+from ..trace.records import PurificationMilestone
 from .engine import SimulationEngine
 from .resources import ServiceCenter
 
@@ -186,6 +187,16 @@ class QueuePurifier:
         if level + 1 == self.depth:
             self._levels[level + 1] -= 1
             self._good_pairs += 1
+            trace = self.engine.trace
+            if trace is not None and trace.wants(PurificationMilestone.kind):
+                trace.emit(
+                    PurificationMilestone(
+                        t_us=self.engine.now,
+                        purifier=self.name,
+                        good_pairs=self._good_pairs,
+                        rounds_executed=self._rounds_executed,
+                    )
+                )
             if self.on_good_pair is not None:
                 self.on_good_pair()
         self._try_start_rounds()

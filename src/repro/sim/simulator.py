@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import SimulationError
+from ..trace import OperationIssued, OperationRetired, RunEnded, TraceBus
 from ..workloads.instructions import InstructionStream, TwoQubitOp
 from .control import ControlUnit, PlannedCommunication
 from .engine import SimulationEngine
@@ -55,20 +56,33 @@ class CommunicationSimulator:
         stream: InstructionStream,
         *,
         max_events: Optional[int] = None,
+        trace: Optional[TraceBus] = None,
     ) -> SimulationResult:
-        """Simulate ``stream`` to completion and return the result."""
+        """Simulate ``stream`` to completion and return the result.
+
+        ``trace`` attaches a trace bus for the run: the engine, the transport
+        and this simulator emit typed records onto it (run header/footer,
+        operation issue/retire, channel open/close, flow rate changes).
+        Untraced runs skip all of it behind ``is not None`` guards.
+        """
         if stream.num_qubits > self.machine.num_qubits:
             raise SimulationError(
                 f"workload uses {stream.num_qubits} logical qubits but the machine "
                 f"has only {self.machine.num_qubits}"
             )
-        engine = SimulationEngine()
+        engine = SimulationEngine(trace=trace)
         transport = FlowTransport(engine, self.machine, allocator=self.allocator)
         control = ControlUnit(self.machine)
         control.reset()
         scheduler = InstructionScheduler(stream)
         records: List[OperationRecord] = []
         states: Dict[int, _OpState] = {}
+        if trace is not None:
+            trace.emit(
+                self.machine.trace_snapshot(
+                    workload=stream.name, operations=scheduler.total_operations
+                )
+            )
 
         def issue_ready() -> None:
             for op in scheduler.ready_operations():
@@ -79,6 +93,15 @@ class CommunicationSimulator:
                     communications=control.plan_operation(op),
                 )
                 states[op.index] = state
+                if trace is not None:
+                    trace.emit(
+                        OperationIssued(
+                            t_us=engine.now,
+                            op_index=op.index,
+                            qubit_a=op.qubit_a,
+                            qubit_b=op.qubit_b,
+                        )
+                    )
                 advance(state)
 
         def advance(state: _OpState) -> None:
@@ -123,6 +146,15 @@ class CommunicationSimulator:
                 )
             )
             del states[state.op.index]
+            if trace is not None:
+                trace.emit(
+                    OperationRetired(
+                        t_us=engine.now,
+                        op_index=state.op.index,
+                        channel_count=state.channel_count,
+                        total_hops=state.total_hops,
+                    )
+                )
             scheduler.mark_completed(state.op.index)
             issue_ready()
 
@@ -134,6 +166,15 @@ class CommunicationSimulator:
                 f"{scheduler.total_operations} operations completed"
             )
         makespan = engine.now
+        if trace is not None:
+            trace.emit(
+                RunEnded(
+                    t_us=makespan,
+                    makespan_us=makespan,
+                    operations=len(records),
+                    channels=len(transport.records),
+                )
+            )
         return SimulationResult(
             workload_name=stream.name,
             machine_description=self.machine.describe(),

@@ -16,6 +16,7 @@ from ..network.geometry import Coordinate
 from ..network.nodes import TeleporterSpec
 from ..network.router import QuantumRouter
 from ..physics.parameters import IonTrapParameters
+from ..trace.records import TeleportPerformed
 from .engine import SimulationEngine
 from .resources import ServiceCenter
 
@@ -108,4 +109,14 @@ class TeleporterNodeSim:
             self._turns += 1
             duration += self.params.times.ballistic(self.router.turn_cells)
         self._teleports += 1
+        trace = self.engine.trace
+        if trace is not None and trace.wants(TeleportPerformed.kind):
+            trace.emit(
+                TeleportPerformed(
+                    t_us=self.engine.now,
+                    node=self.position.as_tuple(),
+                    dimension=dimension,
+                    turn=turn,
+                )
+            )
         self.service_for(dimension).submit(duration, done)

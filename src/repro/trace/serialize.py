@@ -1,0 +1,68 @@
+"""Canonical JSONL trace serialization.
+
+One record per line, compact separators, keys in payload order (kind first,
+then field declaration order), floats in shortest-repr form — the encoding is
+deterministic, so two identical traces serialize to byte-identical files and
+a golden diff is a line-by-line string comparison.  ``json.loads`` restores
+Python floats bitwise from their shortest repr, so
+``line_to_record(record_to_line(r)) == r`` exactly (the property tests pin
+this round trip).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+from .records import TraceRecord, record_from_payload
+
+
+def record_to_line(record: TraceRecord) -> str:
+    """One compact JSON line for ``record`` (no trailing newline)."""
+    return json.dumps(record.to_payload(), separators=(",", ":"))
+
+
+def line_to_record(line: str) -> TraceRecord:
+    """Rebuild a typed record from one JSONL line."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed trace line {line!r}: {exc}") from exc
+    return record_from_payload(payload)
+
+
+def records_to_lines(records: Iterable[TraceRecord]) -> List[str]:
+    return [record_to_line(record) for record in records]
+
+
+def write_jsonl(path: str, records: Sequence[TraceRecord]) -> str:
+    """Write ``records`` as JSONL; parent directories are created."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        for record in records:
+            handle.write(record_to_line(record))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: str) -> List[TraceRecord]:
+    """Read a JSONL trace file back into typed records."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file {path!r}: {exc}") from exc
+    return [line_to_record(line) for line in lines if line.strip()]
+
+
+def trace_fingerprint(records: Sequence[TraceRecord]) -> str:
+    """Short SHA-256 over the serialized trace (for quick equality checks)."""
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(record_to_line(record).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]

@@ -1,0 +1,169 @@
+"""``python -m repro verify`` — differential verification and golden traces.
+
+Three subcommands over the same scenario selection (catalog names, a
+``--spec`` file, or ``--all-catalog``):
+
+``run``
+    Replay each scenario under every requested allocator and diff makespans,
+    per-operation completion orders, channel timelines and flow-rate
+    (utilisation) timelines.  ``--backends`` adds the fluid-vs-detailed
+    cross-check.  Exits non-zero on any divergence.
+``record``
+    (Re-)serialize each scenario's canonical trace to its golden fixture —
+    the one deliberate command that moves the goldens.
+``diff``
+    Replay each scenario and compare its canonical trace line-by-line
+    against the checked-in fixture.  Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import TYPE_CHECKING, List
+
+from ..errors import ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.spec import ScenarioSpec
+
+#: Mirrored from :data:`repro.scenarios.spec.ALLOCATOR_NAMES` at call time;
+#: the parser needs the default string before the scenario stack is imported.
+_DEFAULT_ALLOCATORS = "incremental,reference"
+
+
+def add_verify_parser(subparsers: argparse._SubParsersAction) -> None:
+    """Wire the ``verify`` command group onto the top-level parser."""
+    verify = subparsers.add_parser(
+        "verify", help="differential verification and golden-trace regression"
+    )
+    verify_subs = verify.add_subparsers(dest="verify_command", required=True)
+
+    def _common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "names",
+            nargs="*",
+            metavar="NAME",
+            help="scenario names (default: the full built-in catalog)",
+        )
+        sub.add_argument(
+            "--all-catalog",
+            action="store_true",
+            help="select every built-in catalog scenario explicitly",
+        )
+        sub.add_argument(
+            "--spec",
+            default=None,
+            metavar="FILE",
+            help="JSON/YAML scenario file to select scenarios from",
+        )
+
+    run = verify_subs.add_parser(
+        "run", help="replay scenarios under multiple allocators and diff the dynamics"
+    )
+    _common(run)
+    run.add_argument(
+        "--allocators",
+        default=_DEFAULT_ALLOCATORS,
+        metavar="A,B",
+        help=f"comma-separated allocators to diff (default: {_DEFAULT_ALLOCATORS})",
+    )
+    run.add_argument(
+        "--backends",
+        action="store_true",
+        help="also cross-check the fluid backend against the detailed per-pair backend",
+    )
+
+    record = verify_subs.add_parser(
+        "record", help="(re-)record golden trace fixtures — a deliberate act"
+    )
+    _common(record)
+    record.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="fixture directory (default: tests/golden)",
+    )
+
+    diff = verify_subs.add_parser(
+        "diff", help="diff canonical traces against the checked-in golden fixtures"
+    )
+    _common(diff)
+    diff.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="fixture directory (default: tests/golden)",
+    )
+
+
+def _selected_specs(args: argparse.Namespace) -> List["ScenarioSpec"]:
+    from ..scenarios import select_scenarios
+
+    if args.all_catalog:
+        if args.spec:
+            raise ScenarioError("--all-catalog selects built-ins; it cannot follow --spec")
+        return select_scenarios()
+    return select_scenarios(args.names or None, args.spec)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    if args.verify_command == "run":
+        return _cmd_run(args)
+    if args.verify_command == "record":
+        return _cmd_record(args)
+    if args.verify_command == "diff":
+        return _cmd_diff(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled verify command {args.verify_command!r}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .harness import verify_backends, verify_scenario
+
+    allocators = tuple(a for a in args.allocators.split(",") if a)
+    specs = _selected_specs(args)
+    width = max(len(spec.name) for spec in specs)
+    failures = 0
+    for spec in specs:
+        verdict = verify_scenario(spec, allocators=allocators)
+        divergences = list(verdict.divergences)
+        if args.backends:
+            divergences.extend(verify_backends(spec))
+        status = "ok" if not divergences else f"DIVERGED ({len(divergences)})"
+        print(
+            f"{spec.name:{width}s}  makespan={verdict.makespan_us:14.3f} us  "
+            f"ops={verdict.operations:4d}  channels={verdict.channels:4d}  "
+            f"allocators={','.join(verdict.allocators)}  {status}"
+        )
+        for divergence in divergences:
+            print(f"  {divergence}")
+        failures += bool(divergences)
+    total = len(specs)
+    print(
+        f"verified {total} scenario{'s' if total != 1 else ''}: "
+        f"{total - failures} agreed, {failures} diverged"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .golden import record_golden
+
+    specs = _selected_specs(args)
+    for spec in specs:
+        path = record_golden(spec, directory=args.golden_dir)
+        print(f"recorded {spec.name} -> {path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .golden import diff_golden
+
+    specs = _selected_specs(args)
+    failures = 0
+    for spec in specs:
+        diff = diff_golden(spec, directory=args.golden_dir)
+        print(diff.summary())
+        failures += not diff.ok
+    return 1 if failures else 0

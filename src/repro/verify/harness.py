@@ -1,0 +1,312 @@
+"""Differential verification: replay one scenario several ways, diff traces.
+
+The paper's credibility rests on independent implementations of the same
+physics agreeing: the incremental and reference max-min allocators must
+produce *bitwise identical* dynamics, and the fluid flow backend must stay
+consistent with the detailed per-pair backend.  This module turns that
+agreement into a harness:
+
+* :func:`traced_run` executes a scenario with a trace bus attached and
+  returns the typed record stream next to the simulation result;
+* :func:`verify_scenario` replays a scenario under every requested allocator
+  and diffs four aspects — the makespan (bitwise), the per-operation
+  completion order (exact), the per-channel open/close timeline (bitwise) and
+  the per-flow rate timeline, i.e. the channel utilisation trajectory
+  (bitwise); final per-class utilisation reports are compared to 1e-9
+  relative (their summation *order* legitimately differs between allocators);
+* :func:`verify_backends` cross-checks the fluid model against the detailed
+  per-pair backend where that is tractable: for every distinct hop count the
+  scenario exercises, the detailed simulator's steady-state raw-pair period
+  must agree with the uncontended fluid prediction within a small factor —
+  the two backends share no code above the engine, so agreement is evidence,
+  not tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ScenarioError
+from ..scenarios.run import build_machine, build_stream
+from ..scenarios.spec import ALLOCATOR_NAMES, ScenarioSpec
+from ..sim.channel_setup import DetailedChannelSetup
+from ..sim.results import SimulationResult
+from ..sim.simulator import CommunicationSimulator
+from ..trace import (
+    CANONICAL_KINDS,
+    ChannelClosed,
+    ChannelOpened,
+    FlowRateChanged,
+    OperationRetired,
+    TraceBus,
+    TraceRecord,
+)
+
+#: Kinds a differential run records: the canonical stream plus rate changes.
+DIFFERENTIAL_KINDS = frozenset(CANONICAL_KINDS) | {FlowRateChanged.kind}
+
+#: Relative tolerance for final utilisation reports (summation-order noise).
+UTILISATION_REL_TOL = 1e-9
+
+#: Acceptable ratio between detailed and fluid raw-pair periods.  The two
+#: backends model different granularities (queueing and pipeline-fill against
+#: a fluid steady state), so they agree to a small factor, not to the bit.
+BACKEND_PERIOD_RATIO = 3.0
+
+
+def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    return ScenarioSpec.from_dict(spec)
+
+
+@dataclass
+class TracedRun:
+    """One simulated scenario with its trace attached."""
+
+    spec: ScenarioSpec
+    allocator: str
+    result: SimulationResult
+    records: List[TraceRecord]
+
+    @property
+    def makespan_us(self) -> float:
+        return self.result.makespan_us
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [record for record in self.records if record.kind == kind]
+
+
+def traced_run(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    *,
+    allocator: Optional[str] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> TracedRun:
+    """Run one scenario with a trace bus attached.
+
+    ``allocator`` overrides the spec's runtime allocator; ``kinds`` limits
+    which record kinds are kept (default: the differential set — canonical
+    plus flow-rate changes).
+    """
+    spec = _as_spec(spec)
+    allocator = allocator or spec.runtime.allocator
+    machine = build_machine(spec)
+    stream = build_stream(spec)
+    bus = TraceBus(kinds=DIFFERENTIAL_KINDS if kinds is None else kinds)
+    result = CommunicationSimulator(machine, allocator=allocator).run(
+        stream, max_events=spec.runtime.max_events, trace=bus
+    )
+    return TracedRun(spec=spec, allocator=allocator, result=result, records=bus.records)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One disagreement between two runs of the same scenario."""
+
+    scenario: str
+    aspect: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.scenario}] {self.aspect}: {self.detail}"
+
+
+@dataclass
+class ScenarioVerdict:
+    """Outcome of differentially verifying one scenario."""
+
+    scenario: str
+    allocators: Tuple[str, ...]
+    makespan_us: float
+    operations: int
+    channels: int
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _op_completion_order(run: TracedRun) -> List[int]:
+    return [record.op_index for record in run.of_kind(OperationRetired.kind)]
+
+
+def compare_runs(a: TracedRun, b: TracedRun) -> List[Divergence]:
+    """Diff two runs of the same scenario; empty list means agreement."""
+    name = a.spec.name
+    divergences: List[Divergence] = []
+
+    if a.makespan_us != b.makespan_us:
+        divergences.append(
+            Divergence(
+                name,
+                "makespan",
+                f"{a.allocator}={a.makespan_us!r} vs {b.allocator}={b.makespan_us!r}",
+            )
+        )
+
+    order_a, order_b = _op_completion_order(a), _op_completion_order(b)
+    if order_a != order_b:
+        first = next(
+            (i for i, (x, y) in enumerate(zip(order_a, order_b)) if x != y),
+            min(len(order_a), len(order_b)),
+        )
+        divergences.append(
+            Divergence(
+                name,
+                "op_order",
+                f"completion orders differ at position {first} "
+                f"({order_a[first:first + 3]} vs {order_b[first:first + 3]})",
+            )
+        )
+
+    for kind, aspect in (
+        (ChannelOpened.kind, "channel_open_timeline"),
+        (ChannelClosed.kind, "channel_close_timeline"),
+        (FlowRateChanged.kind, "rate_timeline"),
+    ):
+        recs_a, recs_b = a.of_kind(kind), b.of_kind(kind)
+        if recs_a != recs_b:
+            first = next(
+                (i for i, (x, y) in enumerate(zip(recs_a, recs_b)) if x != y),
+                min(len(recs_a), len(recs_b)),
+            )
+            got = recs_a[first] if first < len(recs_a) else "<missing>"
+            want = recs_b[first] if first < len(recs_b) else "<missing>"
+            divergences.append(
+                Divergence(
+                    name,
+                    aspect,
+                    f"{len(recs_a)} vs {len(recs_b)} records; first difference at "
+                    f"index {first}: {got} vs {want}",
+                )
+            )
+
+    util_a = a.result.resource_utilisation
+    util_b = b.result.resource_utilisation
+    if set(util_a) != set(util_b):
+        divergences.append(
+            Divergence(
+                name,
+                "utilisation",
+                f"resource classes differ: {sorted(util_a)} vs {sorted(util_b)}",
+            )
+        )
+    else:
+        for kind in sorted(util_a):
+            x, y = util_a[kind], util_b[kind]
+            scale = max(abs(x), abs(y), 1.0)
+            if abs(x - y) > UTILISATION_REL_TOL * scale:
+                divergences.append(
+                    Divergence(
+                        name,
+                        "utilisation",
+                        f"{kind}: {a.allocator}={x!r} vs {b.allocator}={y!r}",
+                    )
+                )
+    return divergences
+
+
+def verify_scenario(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    *,
+    allocators: Sequence[str] = ALLOCATOR_NAMES,
+) -> ScenarioVerdict:
+    """Replay ``spec`` under every allocator and diff the dynamics."""
+    spec = _as_spec(spec)
+    allocators = tuple(allocators)
+    if len(allocators) < 2:
+        raise ScenarioError(
+            f"differential verification needs at least two allocators, got {list(allocators)}"
+        )
+    unknown = sorted(set(allocators) - set(ALLOCATOR_NAMES))
+    if unknown:
+        raise ScenarioError(
+            f"unknown allocators {unknown}; available: {sorted(ALLOCATOR_NAMES)}"
+        )
+    baseline = traced_run(spec, allocator=allocators[0])
+    divergences: List[Divergence] = []
+    for other in allocators[1:]:
+        divergences.extend(compare_runs(baseline, traced_run(spec, allocator=other)))
+    return ScenarioVerdict(
+        scenario=spec.name,
+        allocators=allocators,
+        makespan_us=baseline.makespan_us,
+        operations=baseline.result.operation_count,
+        channels=baseline.result.channel_count,
+        divergences=divergences,
+    )
+
+
+# -- backend cross-check ------------------------------------------------------------
+
+
+def verify_backends(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    *,
+    max_hops: int = 16,
+    period_ratio: float = BACKEND_PERIOD_RATIO,
+) -> List[Divergence]:
+    """Cross-check the fluid flow backend against the detailed backend.
+
+    For every distinct hop count the scenario's operations exercise (up to
+    ``max_hops``, which keeps the per-pair simulation tractable), simulate
+    one channel with the detailed backend and require its steady-state
+    raw-pair period to agree with the fluid model's uncontended prediction
+    within ``period_ratio``.
+    """
+    spec = _as_spec(spec)
+    machine = build_machine(spec)
+    stream = build_stream(spec)
+
+    from ..sim.control import ControlUnit
+
+    control = ControlUnit(machine)
+    control.reset()
+    plans_by_hops: Dict[int, Any] = {}
+    for op in stream.operations:
+        for planned in control.plan_operation(op):
+            if planned.plan is not None and planned.hops <= max_hops:
+                plans_by_hops.setdefault(planned.hops, planned.plan)
+
+    divergences: List[Divergence] = []
+    # The pipeline window must never exceed one node's incoming storage: on a
+    # long channel whose first teleporter is the bottleneck, every in-flight
+    # pair can pile up at that single node.
+    storage = machine.allocation.teleporter_spec.storage_cells
+    for hops in sorted(plans_by_hops):
+        plan = plans_by_hops[hops]
+        window = min(2 * hops + 2, storage)
+        detailed = DetailedChannelSetup(machine, plan, max_pairs_in_flight=window).run()
+        if detailed.raw_pairs_injected <= 1:
+            continue
+        detailed_raw_period = detailed.setup_time_us / detailed.raw_pairs_injected
+        profile = machine.flow_profile(hops)
+        # Lone-flow fluid rate: bottleneck capacity over demand, taking the
+        # per-resource work quantities the flow model itself would charge.
+        per_pair_costs = [
+            profile.generator_work / profile.pairs / machine.generator_bandwidth_per_link(),
+        ]
+        if hops > 1:
+            per_pair_costs.append(
+                profile.swap_work / profile.pairs / machine.teleporter_bandwidth_per_direction()
+            )
+        if profile.purifier_work > 0:
+            per_pair_costs.append(
+                profile.purifier_work / profile.pairs / machine.purifier_bandwidth_per_node()
+            )
+        fluid_raw_period = max(per_pair_costs)
+        ratio = detailed_raw_period / fluid_raw_period
+        if not (1.0 / period_ratio <= ratio <= period_ratio):
+            divergences.append(
+                Divergence(
+                    spec.name,
+                    "backend_throughput",
+                    f"hops={hops}: detailed raw-pair period {detailed_raw_period:.3f} us "
+                    f"vs fluid prediction {fluid_raw_period:.3f} us "
+                    f"(ratio {ratio:.2f} outside 1/{period_ratio:g}..{period_ratio:g})",
+                )
+            )
+    return divergences

@@ -7,12 +7,12 @@ nearest neighbour) and are useful for exercising the simulator beyond the QFT.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional, Tuple
 
 from ..errors import SchedulingError
 from .instructions import InstructionStream
 from .qft import qft_pairs
+from .rng import substream_rng
 
 
 def all_to_all_stream(num_qubits: int) -> InstructionStream:
@@ -42,10 +42,15 @@ def nearest_neighbour_stream(num_qubits: int, rounds: int = 1) -> InstructionStr
 
 
 def permutation_stream(num_qubits: int, *, seed: Optional[int] = 0) -> InstructionStream:
-    """A random perfect matching: each qubit communicates exactly once."""
+    """A random perfect matching: each qubit communicates exactly once.
+
+    Randomness comes from the ``permutation`` substream of the workload RNG
+    service, so the same ``(num_qubits, seed)`` yields the same matching in
+    every process (a ``None`` seed means 0, never OS entropy).
+    """
     if num_qubits < 2:
         raise SchedulingError(f"need at least 2 qubits, got {num_qubits}")
-    rng = random.Random(seed)
+    rng = substream_rng("permutation", num_qubits, seed=seed)
     qubits = list(range(1, num_qubits + 1))
     rng.shuffle(qubits)
     if len(qubits) % 2 == 1:
@@ -59,12 +64,16 @@ def permutation_stream(num_qubits: int, *, seed: Optional[int] = 0) -> Instructi
 def random_stream(
     num_qubits: int, num_operations: int, *, seed: Optional[int] = 0
 ) -> InstructionStream:
-    """Uniform random pairs (with per-qubit dependencies arising naturally)."""
+    """Uniform random pairs (with per-qubit dependencies arising naturally).
+
+    Draws from the ``random`` substream of the workload RNG service — same
+    spec, same stream, in any process.
+    """
     if num_qubits < 2:
         raise SchedulingError(f"need at least 2 qubits, got {num_qubits}")
     if num_operations < 1:
         raise SchedulingError(f"num_operations must be >= 1, got {num_operations}")
-    rng = random.Random(seed)
+    rng = substream_rng("random", num_qubits, num_operations, seed=seed)
     pairs: List[Tuple[int, int]] = []
     for _ in range(num_operations):
         a = rng.randint(1, num_qubits)

@@ -132,6 +132,69 @@ class TestFigure12:
         assert max(finite) / min(finite) > 10
 
 
+class TestFigureGoldenValues:
+    """Pinned anchor datapoints for figures 10-12.
+
+    The shape tests above catch qualitative regressions; these catch silent
+    quantitative drift — a changed constant or reordered float expression
+    moves an anchor even when every trend survives.  Anchors were recorded
+    from the verified reproduction and are held to 1e-9 relative.
+    """
+
+    REL = 1e-9
+
+    def test_fig10_series_shape(self):
+        figure = figure10()
+        assert [series.label for series in figure.series] == [
+            "DEJMPS protocol twice after each teleport",
+            "DEJMPS protocol once after each teleport",
+            "DEJMPS protocol twice before teleport",
+            "DEJMPS protocol once before teleport",
+            "DEJMPS protocol only at end",
+        ]
+        for series in figure.series:
+            assert list(series.x) == list(range(5, 61, 5))
+
+    def test_fig10_anchor_datapoints(self):
+        figure = figure10()
+        end = figure.get("DEJMPS protocol only at end")
+        assert end.y[0] == pytest.approx(20.31054647009202, rel=self.REL)
+        assert end.y[-1] == pytest.approx(1154.2376379167715, rel=self.REL)
+        twice_after = figure.get("DEJMPS protocol twice after each teleport")
+        assert twice_after.y[-1] == pytest.approx(3.713804855524195e36, rel=self.REL)
+
+    def test_fig11_anchor_datapoints(self):
+        figure = figure11()
+        wire = figure.get("DEJMPS protocol twice before teleport")
+        assert wire.y[0] == pytest.approx(4.0032114976534805, rel=self.REL)
+        assert wire.y[-1] == pytest.approx(4.016724320052203, rel=self.REL)
+        end = figure.get("DEJMPS protocol only at end")
+        assert end.y[-1] == pytest.approx(19.237293965279534, rel=self.REL)
+
+    def test_fig11_series_shape(self):
+        figure = figure11()
+        assert len(figure.series) == 5
+        for series in figure.series:
+            assert list(series.x) == list(range(5, 61, 5))
+
+    def test_fig12_series_shape(self):
+        figure = figure12()
+        assert len(figure.series) == 5
+        for series in figure.series:
+            assert len(series.x) == 16
+            assert series.x[0] == pytest.approx(1e-9, rel=self.REL)
+            assert series.x[-1] == pytest.approx(1e-4, rel=self.REL)
+            assert math.isinf(series.y[-1])
+
+    def test_fig12_anchor_datapoints(self):
+        figure = figure12()
+        once_after = figure.get("DEJMPS protocol once after each teleport")
+        assert once_after.y[0] == pytest.approx(2147598147.7964725, rel=self.REL)
+        end = figure.get("DEJMPS protocol only at end")
+        assert end.y[0] == pytest.approx(1.0, rel=self.REL)
+        assert end.y[5] == pytest.approx(4.010040771995101, rel=self.REL)
+
+
 class TestTables:
     def test_table1_values(self):
         table = table1()

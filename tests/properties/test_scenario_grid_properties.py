@@ -1,0 +1,95 @@
+"""Property tests: sweep-grid expansion and spec serialization round-trip.
+
+Expanding a sweep grid and re-serializing every resulting spec must be the
+identity (``ScenarioSpec.from_dict(spec.to_dict()) == spec``), the grid must
+enumerate exactly the cross product of its axes, and every grid point must
+carry the override values it was expanded from.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import ScenarioSpec, expand_grid, load_scenarios
+
+#: Axis values sized so every workload fits every fabric (width >= qubits).
+topology_kinds = st.sampled_from(["mesh", "ring", "torus", "line"])
+widths = st.integers(min_value=4, max_value=9)
+num_qubits = st.integers(min_value=2, max_value=4)
+teleporters = st.integers(min_value=1, max_value=4)
+layouts = st.sampled_from(["home_base", "mobile_qubit"])
+
+axes_strategy = st.fixed_dictionaries(
+    {},
+    optional={
+        "topology.kind": st.lists(topology_kinds, min_size=1, max_size=3, unique=True),
+        "topology.width": st.lists(widths, min_size=1, max_size=2, unique=True),
+        "workload.num_qubits": st.lists(num_qubits, min_size=1, max_size=2, unique=True),
+        "physics.teleporters": st.lists(teleporters, min_size=1, max_size=2, unique=True),
+        "runtime.layout": st.lists(layouts, min_size=1, max_size=2, unique=True),
+    },
+).filter(bool)
+
+BASE = {
+    "topology": {"kind": "mesh", "width": 6},
+    "workload": {"kind": "qft", "num_qubits": 4},
+    "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+    "runtime": {"layout": "home_base"},
+}
+
+
+def _dig(mapping, dotted):
+    cursor = mapping
+    for part in dotted.split("."):
+        cursor = cursor[part]
+    return cursor
+
+
+class TestSweepGridRoundTrip:
+    @given(axes=axes_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_expansion_covers_cross_product_and_round_trips(self, axes):
+        specs = expand_grid(BASE, axes, name_prefix="prop")
+        expected = 1
+        for values in axes.values():
+            expected *= len(values)
+        assert len(specs) == expected
+        assert len({spec.name for spec in specs}) == expected
+        for spec in specs:
+            rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+            assert rebuilt == spec
+            assert rebuilt.to_dict() == spec.to_dict()
+
+    @given(axes=axes_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_grid_points_carry_their_override_values(self, axes):
+        specs = expand_grid(BASE, axes, name_prefix="prop")
+        seen = set()
+        for spec in specs:
+            payload = spec.to_dict()
+            point = tuple(_dig(payload, dotted) for dotted in sorted(axes))
+            assert point not in seen
+            seen.add(point)
+            for dotted, values in axes.items():
+                assert _dig(payload, dotted) in values
+
+    @given(axes=axes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_sweep_file_shape_reaches_the_same_specs(self, axes):
+        """A sweep mapping serialized to JSON and loaded back expands to the
+        same specs as direct grid expansion — the loader round-trip."""
+        document = {"name": "prop", "base": dict(BASE), "sweep": axes}
+        text = json.dumps(document)
+        loaded = load_scenarios(json.loads(text), source="<prop>")
+        direct = expand_grid(BASE, axes, name_prefix="prop")
+        assert [spec.to_dict() for spec in loaded] == [spec.to_dict() for spec in direct]
+
+    @given(axes=axes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_spec_hash_ignores_naming_only(self, axes):
+        specs = expand_grid(BASE, axes, name_prefix="prop")
+        for spec in specs:
+            renamed = spec.with_name("something-else")
+            assert renamed.spec_hash == spec.spec_hash
+            assert ScenarioSpec.from_dict(renamed.to_dict()) == renamed

@@ -1,0 +1,84 @@
+"""Property tests: trace serialization round-trips exactly.
+
+``record -> JSONL line -> record`` must be the identity for every record
+type and any representable field values — including awkward floats (signed
+zero aside: JSON has no -0.0-preserving guarantee we rely on, so strategies
+draw finite non-degenerate values the simulators actually produce).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    ChannelClosed,
+    ChannelOpened,
+    EprPairGenerated,
+    EventDispatched,
+    FlowRateChanged,
+    OperationIssued,
+    OperationRetired,
+    PurificationMilestone,
+    RunEnded,
+    RunStarted,
+    TeleportPerformed,
+    line_to_record,
+    read_jsonl,
+    record_from_payload,
+    record_to_line,
+    write_jsonl,
+)
+
+times = st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+rates = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+small_ints = st.integers(min_value=0, max_value=10_000)
+qubits = st.integers(min_value=1, max_value=4096)
+coords = st.tuples(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N", "P"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=24,
+)
+
+record_strategies = st.one_of(
+    st.builds(
+        RunStarted,
+        t_us=times, machine=names, workload=names, width=qubits, height=qubits,
+        topology=names, layout=names, allocation=names, num_qubits=qubits,
+        operations=small_ints,
+    ),
+    st.builds(RunEnded, t_us=times, makespan_us=times, operations=small_ints,
+              channels=small_ints),
+    st.builds(EventDispatched, t_us=times, sequence=small_ints, priority=small_ints),
+    st.builds(OperationIssued, t_us=times, op_index=small_ints, qubit_a=qubits, qubit_b=qubits),
+    st.builds(OperationRetired, t_us=times, op_index=small_ints, channel_count=small_ints,
+              total_hops=small_ints),
+    st.builds(ChannelOpened, t_us=times, flow_id=small_ints, source=coords, destination=coords,
+              hops=small_ints, purpose=names),
+    st.builds(ChannelClosed, t_us=times, flow_id=small_ints, source=coords, destination=coords,
+              hops=small_ints, pairs_transited=rates),
+    st.builds(FlowRateChanged, t_us=times, flow_id=small_ints, rate=rates),
+    st.builds(EprPairGenerated, t_us=times, link=names, produced=small_ints),
+    st.builds(PurificationMilestone, t_us=times, purifier=names, good_pairs=small_ints,
+              rounds_executed=small_ints),
+    st.builds(TeleportPerformed, t_us=times, node=coords, dimension=st.sampled_from(["x", "y"]),
+              turn=st.booleans()),
+)
+
+
+class TestTraceRoundTrip:
+    @given(record=record_strategies)
+    @settings(max_examples=300)
+    def test_line_round_trip_identity(self, record):
+        assert line_to_record(record_to_line(record)) == record
+
+    @given(record=record_strategies)
+    @settings(max_examples=300)
+    def test_payload_round_trip_identity(self, record):
+        assert record_from_payload(record.to_payload()) == record
+
+    @given(records=st.lists(record_strategies, max_size=20))
+    @settings(max_examples=50)
+    def test_file_round_trip_identity(self, tmp_path_factory, records):
+        path = str(tmp_path_factory.mktemp("traces") / "roundtrip.jsonl")
+        write_jsonl(path, records)
+        assert read_jsonl(path) == records

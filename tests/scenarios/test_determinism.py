@@ -1,0 +1,98 @@
+"""Seed determinism: identical specs must yield identical traces anywhere.
+
+The stochastic workload generators draw from SHA-256-derived named
+substreams (:mod:`repro.workloads.rng`), so nothing about a scenario's
+outcome depends on process identity, hash randomization or global RNG state.
+These tests pin that at three levels: the substream service itself, repeated
+in-process ``run_scenario`` calls, and a fresh interpreter with hash
+randomization forced to a different value.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.scenarios import get_scenario, run_scenario
+from repro.trace import trace_fingerprint
+from repro.verify import traced_run
+from repro.workloads.rng import substream_rng, substream_seed
+from repro.workloads.synthetic import permutation_stream, random_stream
+
+STOCHASTIC_SCENARIO = "torus_permutation"
+
+
+def _pairs(stream):
+    return [op.qubits for op in stream.operations]
+
+
+class TestSubstreamService:
+    def test_same_address_same_stream(self):
+        a = substream_rng("permutation", 16, seed=7)
+        b = substream_rng("permutation", 16, seed=7)
+        assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+    def test_distinct_names_are_isolated(self):
+        assert substream_seed("permutation", 16, seed=7) != substream_seed("random", 16, seed=7)
+
+    def test_parameters_address_distinct_substreams(self):
+        assert substream_seed("random", 16, 32, seed=0) != substream_seed("random", 16, 64, seed=0)
+
+    def test_none_seed_is_zero_not_entropy(self):
+        assert substream_seed("permutation", 16, seed=None) == substream_seed(
+            "permutation", 16, seed=0
+        )
+        assert _pairs(permutation_stream(16, seed=None)) == _pairs(permutation_stream(16, seed=0))
+
+    def test_generators_draw_from_service(self):
+        assert _pairs(permutation_stream(12, seed=3)) == _pairs(permutation_stream(12, seed=3))
+        assert _pairs(random_stream(10, 20, seed=5)) == _pairs(random_stream(10, 20, seed=5))
+
+
+class TestScenarioDeterminism:
+    def test_two_independent_run_scenario_calls_agree(self):
+        spec = get_scenario(STOCHASTIC_SCENARIO)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first["makespan_us"] == second["makespan_us"]
+        assert first["channel_count"] == second["channel_count"]
+        assert first["utilisation"] == second["utilisation"]
+
+    def test_two_independent_traces_are_bitwise_identical(self):
+        spec = get_scenario(STOCHASTIC_SCENARIO)
+        a = traced_run(spec)
+        b = traced_run(spec)
+        assert trace_fingerprint(a.records) == trace_fingerprint(b.records)
+
+    def test_fresh_interpreter_reproduces_the_trace(self):
+        """A subprocess with a different PYTHONHASHSEED must produce the same
+        makespan and trace fingerprint as this process."""
+        spec = get_scenario(STOCHASTIC_SCENARIO)
+        local = traced_run(spec)
+        program = (
+            "import json\n"
+            "from repro.scenarios import get_scenario\n"
+            "from repro.trace import trace_fingerprint\n"
+            "from repro.verify import traced_run\n"
+            f"run = traced_run(get_scenario({STOCHASTIC_SCENARIO!r}))\n"
+            "print(json.dumps({'makespan': run.makespan_us.hex(),"
+            " 'fingerprint': trace_fingerprint(run.records)}))\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout
+        remote = json.loads(output.strip().splitlines()[-1])
+        assert remote["makespan"] == local.makespan_us.hex()
+        assert remote["fingerprint"] == trace_fingerprint(local.records)
