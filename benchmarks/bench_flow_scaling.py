@@ -52,6 +52,32 @@ def _contention_run(allocator):
     return CommunicationSimulator(machine, allocator=allocator).run(stream)
 
 
+def test_backend_dispatch_resolves_to_the_direct_flow_transport():
+    """The registry-selected fluid backend *is* the direct FlowTransport.
+
+    The transport refactor (pluggable backends behind
+    :mod:`repro.sim.transport`) dispatches once per run and must hand back
+    the plain FlowTransport object with the allocator wired through — no
+    wrapper, no indirection on the per-event path.  The actual trace-off
+    hot-path timing gate is the >=5x speedup test below, which now runs
+    through this dispatch; a registry-layer slowdown would surface there as
+    a lost speedup margin.
+    """
+    from repro.sim.transport import create_transport
+
+    machine = QuantumMachine(
+        CONTENTION_GRID,
+        num_qubits=CONTENTION_QUBITS,
+        allocation=CONTENTION_ALLOCATION,
+        layout="home_base",
+    )
+    engine = SimulationEngine()
+    transport = create_transport("fluid", engine, machine, allocator="incremental")
+    assert type(transport) is FlowTransport
+    assert transport.allocator == "incremental"
+    assert transport.engine is engine and transport.machine is machine
+
+
 def test_incremental_allocator_speedup_on_64_channels(benchmark):
     start = time.perf_counter()
     reference = _contention_run("reference")

@@ -1,54 +1,58 @@
-"""Watch one channel being set up at individual EPR-pair granularity.
+"""Run a whole workload at individual EPR-pair granularity.
 
-The flow simulator treats channel setup as a fluid; this example runs the
-detailed event-driven model instead: raw pairs are pulled from the virtual
-wire buffers, swapped through every intermediate router (queueing for its X or
-Y teleporter set) and climbed through the endpoint queue purifier until enough
-above-threshold pairs exist to teleport a logical qubit.
+The fluid backend treats channel setup as a fluid; the ``detailed`` transport
+backend simulates the same workload at the granularity the hardware works at:
+raw pairs are pulled from the virtual wire buffers, swapped through every
+intermediate router (queueing for its X or Y teleporter set alongside every
+other in-flight channel), and climbed through the endpoint queue purifiers
+until enough above-threshold pairs exist to teleport each logical operand.
+
+Both granularities are registered transport backends, so the same machine and
+instruction stream run under either — this example runs both and compares.
 
 Run with:  python examples/detailed_channel_setup.py
 """
 
-from repro import Coordinate, QuantumMachine, ResourceAllocation
+from repro import QuantumMachine, ResourceAllocation
 from repro.core.logical import STEANE_LEVEL_1
-from repro.sim.channel_setup import DetailedChannelSetup
-from repro.sim.qpurifier import QueuePurifierModel
+from repro.sim import CommunicationSimulator, backend_descriptions
+from repro.workloads.qft import qft_stream
 
 
 def main() -> None:
+    print("Registered transport backends:")
+    for name, description in backend_descriptions().items():
+        print(f"  {name:9s} {description}")
+    print()
+
     machine = QuantumMachine(
-        8,
+        6,
         allocation=ResourceAllocation(teleporters_per_node=4, generators_per_node=4, purifiers_per_node=2),
+        num_qubits=8,
         encoding=STEANE_LEVEL_1,  # 7 physical qubits per logical qubit keeps the run small
     )
-    source, destination = Coordinate(0, 0), Coordinate(5, 4)
-    plan = machine.planner.plan(source, destination)
-    print(plan.describe())
-    print(f"Endpoint purification depth: {plan.budget.endpoint_rounds} rounds")
+    stream = qft_stream(8)
+    print(f"Workload: {stream.name} on {machine.describe()}")
     print()
 
-    setup = DetailedChannelSetup(machine, plan)
-    result = setup.run()
-    print(result.describe())
-    print()
+    results = {}
+    for backend in ("fluid", "detailed"):
+        results[backend] = CommunicationSimulator(machine, backend=backend).run(stream)
+        result = results[backend]
+        print(f"[{backend}] makespan {result.makespan_us:,.0f} us, "
+              f"{result.channel_count} channels, "
+              f"bottleneck: {result.bottleneck_resource()}")
+        for name, value in sorted(result.resource_utilisation.items()):
+            print(f"  {name:14s} {value:6.1%}")
+        print()
 
-    model = QueuePurifierModel(
-        units=machine.allocation.purifiers_per_node,
-        depth=plan.budget.endpoint_rounds,
-        round_time_us=machine.params.times.purify_round(0.0),
-    )
+    ratio = results["detailed"].makespan_us / results["fluid"].makespan_us
     print(
-        "Steady-state good-pair period: "
-        f"{result.steady_state_pair_period_us:.1f} us measured vs "
-        f"{model.good_pair_period_us:.1f} us predicted by the queue-purifier model."
+        f"Detailed/fluid makespan ratio: {ratio:.3f} — the per-pair model "
+        "queues real swaps and\npurification rounds, yet lands within the "
+        "documented cross-check tolerance of the\nfluid steady state "
+        "(`python -m repro verify run --backends`)."
     )
-    print()
-    print("Per-link generator utilisation (first five links):")
-    for name, value in list(result.generator_utilisation.items())[:5]:
-        print(f"  {name:24s} {value:6.1%}")
-    print("Per-router teleporter utilisation (first five routers):")
-    for name, value in list(result.teleporter_utilisation.items())[:5]:
-        print(f"  {name:24s} {value:6.1%}")
     print()
     print(
         "The pipeline keeps only a handful of pairs in flight at any moment —\n"

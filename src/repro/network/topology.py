@@ -80,8 +80,19 @@ class LinkId:
         """True for the long-way-around link of a ring or torus."""
         return manhattan_distance(self.a, self.b) != 1
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.a}-{self.b}"
+    @property
+    def stable_name(self) -> str:
+        """Canonical serialization-stable string form: ``(ax,ay)-(bx,by)``.
+
+        Golden traces and JSON result records key per-link quantities by this
+        string, so its format is a compatibility contract (pinned by tests)
+        rather than a cosmetic repr; the canonical endpoint orientation makes
+        it independent of construction order.
+        """
+        return f"({self.a.x},{self.a.y})-({self.b.x},{self.b.y})"
+
+    def __str__(self) -> str:
+        return self.stable_name
 
 
 class MeshTopology:

@@ -5,6 +5,8 @@ Subcommands
 
 ``list``
     Show every registered experiment with its kind and description.
+``backends``
+    Show every registered transport backend with a one-line description.
 ``run [IDENTIFIER ...]``
     Regenerate specific artefacts (default: all light ones) and print them.
 ``report``
@@ -12,8 +14,9 @@ Subcommands
 ``scenarios list|run|sweep``
     The declarative scenario engine: list the catalog, run named or
     file-defined scenarios, or fan a topology x workload grid across the
-    pool.  ``--emit-bench out.json`` writes the machine-readable benchmark
-    payload the CI perf trajectory records.
+    pool.  ``--backend NAME`` re-runs the selection on another transport
+    granularity; ``--emit-bench out.json`` writes the machine-readable
+    benchmark payload the CI perf trajectory records.
 ``verify run|record|diff``
     The differential-verification harness (see :mod:`repro.verify.cli`):
     replay scenarios under both allocators and diff their dynamics, or
@@ -70,6 +73,13 @@ def _add_scenario_io_options(sub: argparse.ArgumentParser) -> None:
         help="JSON/YAML scenario file (single scenario, bundle or sweep)",
     )
     sub.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="run every selected scenario on this transport backend "
+        "(see `python -m repro backends`; overrides runtime.backend)",
+    )
+    sub.add_argument(
         "--emit-bench",
         default=None,
         metavar="OUT",
@@ -86,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the registered experiments")
+
+    subparsers.add_parser(
+        "backends", help="list the registered transport backends"
+    )
 
     for name, help_text in (
         ("run", "regenerate one or more artefacts and print them"),
@@ -183,6 +197,16 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_backends() -> int:
+    from ..sim.transport import backend_descriptions
+
+    descriptions = backend_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:{width}s}  {description}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from ..analysis.experiments import get_experiment
     from ..analysis.report import render_artifact
@@ -237,6 +261,8 @@ def _execute_scenarios(specs, args: argparse.Namespace) -> int:
     from ..scenarios.bench import bench_payload, write_bench_file
 
     _require_specs(specs, "the scenario selection")
+    if args.backend:
+        specs = [spec.with_backend(args.backend) for spec in specs]
     runner = _runner_from(args)
     # Pool payloads are canonical (name/description stripped), so two
     # differently-named specs describing the same experiment share one cache
@@ -318,6 +344,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "backends":
+            return _cmd_backends()
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "report":

@@ -85,7 +85,9 @@ def run_scenario(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]
     # refuses more logical qubits than the fabric has LQ sites.
     machine = build_machine(spec)
     stream = build_stream(spec)
-    simulator = CommunicationSimulator(machine, allocator=spec.runtime.allocator)
+    simulator = CommunicationSimulator(
+        machine, allocator=spec.runtime.allocator, backend=spec.runtime.backend
+    )
     result = simulator.run(stream, max_events=spec.runtime.max_events)
     wall_s = time.perf_counter() - started
     total_hops = sum(record.total_hops for record in result.operations)
@@ -100,6 +102,7 @@ def run_scenario(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]
         "topology_kind": spec.topology.kind,
         "layout": spec.runtime.layout,
         "allocator": spec.runtime.allocator,
+        "backend": result.backend,
         "operations": len(result.operations),
         "channel_count": result.channel_count,
         "total_hops": total_hops,

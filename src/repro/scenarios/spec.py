@@ -36,6 +36,10 @@ LAYOUT_ALIASES = {
 }
 ALLOCATOR_NAMES = ("incremental", "reference")
 ROUTING_NAMES = ("xy", "yx")
+#: Transport backend names accepted by ``runtime.backend``.  Mirrors the
+#: registry in :mod:`repro.sim.transport` (kept literal here so validating a
+#: spec never imports the simulation stack; a test pins the two in sync).
+BACKEND_NAMES = ("fluid", "detailed")
 
 
 def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
@@ -203,17 +207,20 @@ class PhysicsSpec:
 
 @dataclass(frozen=True)
 class RuntimeSpec:
-    """How the scenario executes: layout, allocator, routing, limits."""
+    """How the scenario executes: backend, layout, allocator, routing, limits."""
 
     layout: str = "home_base"
     allocator: str = "incremental"
     routing: str = "xy"
+    backend: str = "fluid"
     max_events: Optional[int] = None
 
     @classmethod
     def from_dict(cls, data: Any) -> "RuntimeSpec":
         data = _require_mapping(data, "runtime")
-        _reject_unknown(data, ("layout", "allocator", "routing", "max_events"), "runtime")
+        _reject_unknown(
+            data, ("layout", "allocator", "routing", "backend", "max_events"), "runtime"
+        )
         max_events = data.get("max_events")
         if max_events is not None:
             max_events = _int_field(data, "max_events", 1, "runtime", minimum=1)
@@ -222,6 +229,7 @@ class RuntimeSpec:
             layout=LAYOUT_ALIASES[layout],
             allocator=_choice_field(data, "allocator", cls.allocator, "runtime", ALLOCATOR_NAMES),
             routing=_choice_field(data, "routing", cls.routing, "runtime", ROUTING_NAMES),
+            backend=_choice_field(data, "backend", cls.backend, "runtime", BACKEND_NAMES),
             max_events=max_events,
         )
 
@@ -285,6 +293,11 @@ class ScenarioSpec:
 
     def with_name(self, name: str) -> "ScenarioSpec":
         return replace(self, name=name)
+
+    def with_backend(self, backend: str) -> "ScenarioSpec":
+        """The same scenario on a different transport backend (validated)."""
+        runtime = RuntimeSpec.from_dict({**asdict(self.runtime), "backend": backend})
+        return replace(self, runtime=runtime)
 
     @property
     def spec_hash(self) -> str:

@@ -5,16 +5,22 @@ The paper built a Java event-driven simulator to study how resource allocation
 the runtime of communication-heavy kernels.  This subpackage is the Python
 equivalent, with two fidelity levels:
 
-* **Flow mode** (:mod:`repro.sim.flow`) — every active logical communication
+Both fidelity levels are :class:`~repro.sim.transport.TransportBackend`
+implementations selectable by name:
+
+* **``fluid``** (:mod:`repro.sim.flow`) — every active logical communication
   is a fluid flow whose rate is limited by its fair share of the teleporter,
   generator and purifier bandwidth along its path.  This is the mode used to
   regenerate Figure 16 on large grids.
-* **Detailed mode** (:mod:`repro.sim.channel_setup`) — individual EPR pairs
-  are generated, chained-teleported hop by hop and queue-purified as discrete
-  events.  It is exact but only practical for single channels or small grids;
-  the test-suite uses it to validate the flow model's throughput estimates.
+* **``detailed``** (:mod:`repro.sim.detailed`) — individual EPR pairs are
+  generated, chained-teleported hop by hop and queue-purified as discrete
+  events, with teleporter-set/storage/purifier queueing shared between
+  concurrent channels.  Exact but much slower; ``repro.verify`` uses it to
+  validate the fluid model end to end.  (:mod:`repro.sim.channel_setup`
+  keeps the original single-channel study on the same components.)
 
-:class:`repro.sim.simulator.CommunicationSimulator` is the public entry point.
+:class:`repro.sim.simulator.CommunicationSimulator` is the public entry
+point; its ``backend`` argument selects the granularity.
 """
 
 from .engine import Event, SimulationEngine
@@ -24,6 +30,14 @@ from .results import ChannelRecord, OperationRecord, SimulationResult
 from .simulator import CommunicationSimulator
 from .scheduler import InstructionScheduler
 from .qpurifier import QueuePurifierModel
+from .transport import (
+    TransportBackend,
+    backend_descriptions,
+    backend_names,
+    create_transport,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "ChannelRecord",
@@ -37,4 +51,10 @@ __all__ = [
     "ServiceCenter",
     "SimulationEngine",
     "SimulationResult",
+    "TransportBackend",
+    "backend_descriptions",
+    "backend_names",
+    "create_transport",
+    "get_backend",
+    "register_backend",
 ]

@@ -23,7 +23,7 @@ from .engine import SimulationEngine
 from .generator import LinkGenerator
 from .machine import QuantumMachine
 from .qpurifier import QueuePurifier
-from .teleporter import TeleporterNodeSim
+from .teleporter import TeleporterNodeSim, swap_routing
 
 
 @dataclass
@@ -78,10 +78,9 @@ class _PairPipeline:
         # destination where the pair is instead handed to the purifier).
         if self.hop_index < len(self.setup.links) - 1:
             node = path_nodes[self.hop_index + 1]
-            nxt = path_nodes[self.hop_index + 2]
-            dimension = "x" if nxt.y == node.y else "y"
-            previous = path_nodes[self.hop_index]
-            turn = (previous.y == node.y) != (nxt.y == node.y)
+            dimension, turn = swap_routing(
+                path_nodes[self.hop_index], node, path_nodes[self.hop_index + 2]
+            )
             teleporter = self.setup.teleporters[node.as_tuple()]
             teleporter.store_incoming()
             teleporter.teleport_through(
@@ -120,13 +119,13 @@ class DetailedChannelSetup:
         # bus through the engine, so attaching one here traces the whole
         # per-pair pipeline (generation, swaps, purification milestones).
         self.engine = SimulationEngine(trace=trace)
-        self.good_pairs_needed = (
-            good_pairs_needed
-            if good_pairs_needed is not None
-            else machine.good_pairs_per_logical_communication()
-        )
-        depth = max(plan.budget.endpoint_rounds, 1)
-        self.raw_pairs_needed = self.good_pairs_needed * (2 ** depth)
+        depth, default_raw = machine.detailed_pair_budget(plan.hops)
+        if good_pairs_needed is not None:
+            self.good_pairs_needed = good_pairs_needed
+            self.raw_pairs_needed = good_pairs_needed * (2 ** depth)
+        else:
+            self.good_pairs_needed = machine.good_pairs_per_logical_communication()
+            self.raw_pairs_needed = default_raw
         allocation = machine.allocation
         buffer = link_buffer if link_buffer is not None else max(allocation.teleporters_per_node, 2)
         self.links: List[LinkId] = list(plan.path.links)
@@ -137,6 +136,7 @@ class DetailedChannelSetup:
                 buffer_capacity=buffer,
                 params=machine.params,
                 name=f"G{link}",
+                rate_scale=machine.generator_bandwidth_scale,
             )
             for link in self.links
         }
@@ -197,11 +197,12 @@ class DetailedChannelSetup:
                 )
         elapsed = self.engine.now
         generator_util = {
-            str(link): gen.service.stats.utilisation(elapsed)
+            link.stable_name: gen.service.stats.utilisation(elapsed)
             for link, gen in self.generators.items()
         }
         teleporter_util = {
-            str(node): sim.utilisation(elapsed) for node, sim in self.teleporters.items()
+            str(node): self.teleporters[node.as_tuple()].utilisation(elapsed)
+            for node in self.plan.path.intermediate_nodes
         }
         return DetailedChannelResult(
             hops=self.plan.hops,

@@ -49,11 +49,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
-from ..trace.records import ChannelClosed, ChannelOpened, FlowRateChanged
+from ..trace.records import FlowRateChanged
 from .control import PlannedCommunication
 from .engine import Event, SimulationEngine
 from .machine import QuantumMachine
-from .results import ChannelRecord
+from .transport import TransportBackend, register_backend
 
 #: Resource identifiers are (kind, *coordinates) tuples; kinds used below.
 KIND_TELEPORTER_X = "teleporter_x"
@@ -89,8 +89,16 @@ class ChannelFlow:
         return self.planned.hops
 
 
-class FlowTransport:
+@register_backend
+class FlowTransport(TransportBackend):
     """Shares machine bandwidth among concurrent channel flows."""
+
+    name = "fluid"
+    description = (
+        "Max-min fair fluid flows over teleporter/generator/purifier "
+        "bandwidth; fast, scales to large grids and full sweeps."
+    )
+    uses_allocator = True
 
     def __init__(
         self,
@@ -103,16 +111,13 @@ class FlowTransport:
             raise SimulationError(
                 f"unknown allocator {allocator!r}; expected 'incremental' or 'reference'"
             )
-        self.engine = engine
-        self.machine = machine
+        super().__init__(engine, machine)
         self.allocator = allocator
         self._incremental = allocator == "incremental"
         self._flows: Dict[int, ChannelFlow] = {}
-        self._next_id = 0
         self._last_update = 0.0
         self._capacity_cache: Dict[ResourceKey, float] = {}
         self._usage_integral: Dict[str, float] = {}
-        self._records: List[ChannelRecord] = []
         #: Persistent resource → {flow_id: demand work} index.
         self._members: Dict[ResourceKey, Dict[int, float]] = {}
         #: Per-kind sum of rate * work over active flows (usage accounting).
@@ -124,22 +129,17 @@ class FlowTransport:
     def active_flows(self) -> int:
         return len(self._flows)
 
-    @property
-    def records(self) -> List[ChannelRecord]:
-        return self._records
-
     def start(
         self,
         planned: PlannedCommunication,
         done: Callable[[], None],
     ) -> None:
         """Begin servicing a planned communication; ``done`` fires at completion."""
-        if planned.plan is None:
-            raise SimulationError("local communications do not need the transport backend")
         self._advance_time()
+        flow_id = self._open_channel(planned)
         profile = self.machine.flow_profile(planned.plan.hops)
         flow = ChannelFlow(
-            flow_id=self._next_id,
+            flow_id=flow_id,
             planned=planned,
             demands=self._build_demands(planned),
             floor_us=profile.floor_us,
@@ -147,23 +147,9 @@ class FlowTransport:
             start_us=self.engine.now,
             done=lambda f, cb=done: cb(),
         )
-        self._next_id += 1
         self._flows[flow.flow_id] = flow
         for key, work in flow.demands.items():
             self._members.setdefault(key, {})[flow.flow_id] = work
-        trace = self.engine.trace
-        if trace is not None:
-            request = planned.request
-            trace.emit(
-                ChannelOpened(
-                    t_us=self.engine.now,
-                    flow_id=flow.flow_id,
-                    source=request.source.as_tuple(),
-                    destination=request.dest.as_tuple(),
-                    hops=flow.hops,
-                    purpose=request.purpose,
-                )
-            )
         self._reallocate()
 
     def utilisation_report(self, elapsed_us: float, *, clamp: bool = True) -> Dict[str, float]:
@@ -470,30 +456,11 @@ class FlowTransport:
                 members.pop(flow.flow_id, None)
                 if not members:
                     del self._members[key]
-        request = flow.planned.request
-        self._records.append(
-            ChannelRecord(
-                source=request.source.as_tuple(),
-                destination=request.dest.as_tuple(),
-                hops=flow.hops,
-                start_us=flow.start_us,
-                end_us=self.engine.now,
-                pairs_transited=flow.pairs_transited,
-                purpose=request.purpose,
-                qubit=request.qubit,
-            )
+        self._close_channel(
+            flow.flow_id,
+            flow.planned,
+            start_us=flow.start_us,
+            pairs_transited=flow.pairs_transited,
         )
-        trace = self.engine.trace
-        if trace is not None:
-            trace.emit(
-                ChannelClosed(
-                    t_us=self.engine.now,
-                    flow_id=flow.flow_id,
-                    source=request.source.as_tuple(),
-                    destination=request.dest.as_tuple(),
-                    hops=flow.hops,
-                    pairs_transited=flow.pairs_transited,
-                )
-            )
         flow.done(flow)
         self._reallocate()

@@ -31,15 +31,22 @@ class LinkGenerator:
         params: Optional[IonTrapParameters] = None,
         prefill: bool = True,
         name: str = "link",
+        rate_scale: float = 1.0,
     ) -> None:
         if generators < 1:
             raise ConfigurationError(f"generators must be >= 1, got {generators}")
         if buffer_capacity < 1:
             raise ConfigurationError(f"buffer_capacity must be >= 1, got {buffer_capacity}")
+        if rate_scale <= 0:
+            raise ConfigurationError(f"rate_scale must be positive, got {rate_scale}")
         self.engine = engine
         self.params = params or IonTrapParameters.default()
         self.buffer_capacity = buffer_capacity
         self.name = name
+        # The ancilla-factory bandwidth knob (``generator_bandwidth_scale`` on
+        # the machine) models continuously faster or slower pair factories;
+        # with an integer unit count, that is a scaled per-pair service time.
+        self._generate_us = self.params.times.generate / rate_scale
         self._service = ServiceCenter(engine, generators, name=f"{name}.generators")
         self._available = buffer_capacity if prefill else 0
         self._in_production = 0
@@ -77,7 +84,7 @@ class LinkGenerator:
         demand = self.buffer_capacity + len(self._waiters)
         while self._available + self._in_production < demand:
             self._in_production += 1
-            self._service.submit(self.params.times.generate, self._pair_ready)
+            self._service.submit(self._generate_us, self._pair_ready)
 
     def _pair_ready(self) -> None:
         self._in_production -= 1

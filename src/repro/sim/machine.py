@@ -200,6 +200,17 @@ class QuantumMachine:
         """Above-threshold pairs needed at the endpoints per logical qubit moved."""
         return self.encoding.physical_qubits
 
+    def detailed_pair_budget(self, hops: int) -> "tuple[int, int]":
+        """(purification depth, raw pairs) one channel needs at per-pair granularity.
+
+        The event-driven purifier consumes ``2**depth`` raw pairs per good
+        pair (every round succeeds in the deterministic model), and a channel
+        must deliver one good pair per physical qubit of the logical operand.
+        Both per-pair simulations draw this budget from here.
+        """
+        depth = max(self.planner.budget_for_hops(hops).endpoint_rounds, 1)
+        return depth, self.good_pairs_per_logical_communication() * (2 ** depth)
+
     def purifier_rounds_per_good_pair(self, hops: int) -> float:
         """Purification rounds executed at an endpoint per good pair produced."""
         budget = self.planner.budget_for_hops(hops)

@@ -135,6 +135,7 @@ class QueuePurifier:
         params: Optional[IonTrapParameters] = None,
         on_good_pair: Optional[Callable[[], None]] = None,
         name: str = "queue_purifier",
+        service: Optional[ServiceCenter] = None,
     ) -> None:
         if depth < 1:
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
@@ -143,7 +144,13 @@ class QueuePurifier:
         self.params = params or IonTrapParameters.default()
         self.on_good_pair = on_good_pair
         self.name = name
-        self._service = ServiceCenter(engine, units, name=f"{name}.units")
+        # ``service`` shares one bank of purifier units between several queue
+        # structures — the multi-channel detailed backend runs one queue per
+        # channel but every channel terminating at a node contends for that
+        # node's ``p`` physical units.
+        self._service = service if service is not None else ServiceCenter(
+            engine, units, name=f"{name}.units"
+        )
         self._levels: List[int] = [0] * (depth + 1)
         self._good_pairs = 0
         self._rounds_executed = 0

@@ -59,6 +59,8 @@ class SimulationResult:
     operations: List[OperationRecord] = field(default_factory=list)
     channels: List[ChannelRecord] = field(default_factory=list)
     resource_utilisation: Dict[str, float] = field(default_factory=dict)
+    #: Transport backend that serviced the run (registry name).
+    backend: str = "fluid"
     metadata: Dict[str, object] = field(default_factory=dict)
 
     # -- headline numbers -----------------------------------------------------

@@ -3,8 +3,10 @@
 :class:`CommunicationSimulator` runs an instruction stream on a
 :class:`~repro.sim.machine.QuantumMachine`: the scheduler issues operations as
 their dependencies resolve, the control unit translates each operation into
-planned communications via the machine's layout, and the flow transport
-backend services them under contention.  The result is a
+planned communications via the machine's layout, and the selected transport
+backend services them under contention.  The scheduler/control/issue-retire
+loop is backend-agnostic — the fluid flow model and the detailed per-pair
+model plug in through :mod:`repro.sim.transport` — and the result is a
 :class:`~repro.sim.results.SimulationResult` whose makespan is the paper's
 "runtime" metric (Figure 16).
 """
@@ -19,10 +21,10 @@ from ..trace import OperationIssued, OperationRetired, RunEnded, TraceBus
 from ..workloads.instructions import InstructionStream, TwoQubitOp
 from .control import ControlUnit, PlannedCommunication
 from .engine import SimulationEngine
-from .flow import FlowTransport
 from .machine import QuantumMachine
 from .results import OperationRecord, SimulationResult
 from .scheduler import InstructionScheduler
+from .transport import create_transport
 
 
 @dataclass
@@ -41,15 +43,25 @@ class _OpState:
 class CommunicationSimulator:
     """Runs instruction streams on a quantum machine and reports runtime.
 
-    ``allocator`` selects the flow transport's rate allocator: the default
+    ``backend`` selects the transport granularity by registry name:
+    ``"fluid"`` (the default) services communications as max-min fair flows,
+    ``"detailed"`` simulates every EPR pair through the shared node hardware.
+    ``allocator`` selects the fluid backend's rate allocator: the default
     ``"incremental"`` recomputes only the affected component of flows on each
     event, ``"reference"`` recomputes every rate from scratch (the original,
     much slower behaviour kept as a correctness oracle).
     """
 
-    def __init__(self, machine: QuantumMachine, *, allocator: str = "incremental") -> None:
+    def __init__(
+        self,
+        machine: QuantumMachine,
+        *,
+        allocator: str = "incremental",
+        backend: str = "fluid",
+    ) -> None:
         self.machine = machine
         self.allocator = allocator
+        self.backend = backend
 
     def run(
         self,
@@ -71,7 +83,9 @@ class CommunicationSimulator:
                 f"has only {self.machine.num_qubits}"
             )
         engine = SimulationEngine(trace=trace)
-        transport = FlowTransport(engine, self.machine, allocator=self.allocator)
+        transport = create_transport(
+            self.backend, engine, self.machine, allocator=self.allocator
+        )
         control = ControlUnit(self.machine)
         control.reset()
         scheduler = InstructionScheduler(stream)
@@ -182,6 +196,7 @@ class CommunicationSimulator:
             operations=records,
             channels=transport.records,
             resource_utilisation=transport.utilisation_report(makespan),
+            backend=transport.name,
             metadata={
                 "classical_messages": control.messages_issued,
                 "logical_gate_us": self.machine.logical_gate_us,

@@ -21,6 +21,24 @@ from .engine import SimulationEngine
 from .resources import ServiceCenter
 
 
+def swap_routing(
+    previous: Coordinate, node: Coordinate, nxt: Coordinate
+) -> "tuple[str, bool]":
+    """Which teleporter set a transiting swap uses, and whether it turns.
+
+    A pair extending from ``previous`` through ``node`` toward ``nxt`` is
+    serviced by ``node``'s X set when it leaves horizontally and its Y set
+    otherwise (the Figure 6 router split); it *turns* — paying the ballistic
+    move between the sets — when the incoming and outgoing dimensions differ.
+    Both per-pair simulations (the single-channel study and the detailed
+    transport backend) route through this one expression, so the physics
+    cannot drift between them.
+    """
+    dimension = "x" if nxt.y == node.y else "y"
+    turn = (previous.y == node.y) != (nxt.y == node.y)
+    return dimension, turn
+
+
 class TeleporterNodeSim:
     """Event-level model of one T' node's teleporter sets and storage."""
 

@@ -1,0 +1,200 @@
+"""Pluggable transport backends: the contract both simulation granularities share.
+
+The communication simulator translates an instruction stream into planned
+communications; *how* those communications are serviced is the transport
+backend's business.  Two implementations ship with the repository:
+
+* ``fluid`` (:mod:`repro.sim.flow`) — every active communication is a flow
+  sharing resource bandwidth max-min fairly.  Fast enough for large grids and
+  full sweeps; the granularity the paper's Figure 16 runs at.
+* ``detailed`` (:mod:`repro.sim.detailed`) — every raw EPR pair is generated,
+  chained-teleported hop by hop and queue-purified as discrete events, with
+  teleporter-set and storage queueing shared across concurrent channels.
+  Slower, but it models the hardware at the granularity the paper used to
+  validate the fluid model.
+
+:class:`TransportBackend` pins down the contract (open a channel for a
+planned communication, call back on completion, report channel records and
+per-class utilisation, emit channel open/close on the trace bus), and the
+registry below lets every layer above — scenario specs, the runner, the CLI,
+the verify harness — select a backend by name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Tuple, Type
+
+from ..errors import ConfigurationError, SimulationError
+from ..trace.records import ChannelClosed, ChannelOpened
+from .results import ChannelRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .control import PlannedCommunication
+    from .engine import SimulationEngine
+    from .machine import QuantumMachine
+
+
+class TransportBackend(ABC):
+    """Services planned communications on a machine, one channel per request.
+
+    Subclasses implement :meth:`start` (begin servicing, invoke the callback
+    when the communication completes) and :meth:`utilisation_report`.  The
+    base class owns what every backend must agree on: flow-id allocation,
+    the per-channel :class:`~repro.sim.results.ChannelRecord` log, and the
+    :class:`~repro.trace.ChannelOpened`/:class:`~repro.trace.ChannelClosed`
+    trace records — so traces from different backends stay diffable.
+    """
+
+    #: Registry name; subclasses must override.
+    name: ClassVar[str] = "abstract"
+    #: One-line description shown by ``python -m repro backends``.
+    description: ClassVar[str] = ""
+    #: Whether the backend takes the max-min ``allocator`` option.
+    uses_allocator: ClassVar[bool] = False
+
+    def __init__(self, engine: "SimulationEngine", machine: "QuantumMachine") -> None:
+        self.engine = engine
+        self.machine = machine
+        self._records: List[ChannelRecord] = []
+        self._next_flow_id = 0
+
+    # -- contract -----------------------------------------------------------------
+
+    @abstractmethod
+    def start(self, planned: "PlannedCommunication", done: Callable[[], None]) -> None:
+        """Begin servicing ``planned``; ``done`` fires at completion."""
+
+    @abstractmethod
+    def utilisation_report(self, elapsed_us: float, *, clamp: bool = True) -> Dict[str, float]:
+        """Average utilisation per resource *class* over ``elapsed_us``."""
+
+    @property
+    def records(self) -> List[ChannelRecord]:
+        """Per-channel records, in completion order."""
+        return self._records
+
+    # -- shared channel bookkeeping ---------------------------------------------------
+
+    def _open_channel(self, planned: "PlannedCommunication") -> int:
+        """Allocate a flow id and emit the :class:`ChannelOpened` record."""
+        if planned.plan is None:
+            raise SimulationError("local communications do not need the transport backend")
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        trace = self.engine.trace
+        if trace is not None:
+            request = planned.request
+            trace.emit(
+                ChannelOpened(
+                    t_us=self.engine.now,
+                    flow_id=flow_id,
+                    source=request.source.as_tuple(),
+                    destination=request.dest.as_tuple(),
+                    hops=planned.hops,
+                    purpose=request.purpose,
+                )
+            )
+        return flow_id
+
+    def _close_channel(
+        self,
+        flow_id: int,
+        planned: "PlannedCommunication",
+        *,
+        start_us: float,
+        pairs_transited: float,
+    ) -> None:
+        """Log the channel record and emit :class:`ChannelClosed`."""
+        request = planned.request
+        self._records.append(
+            ChannelRecord(
+                source=request.source.as_tuple(),
+                destination=request.dest.as_tuple(),
+                hops=planned.hops,
+                start_us=start_us,
+                end_us=self.engine.now,
+                pairs_transited=pairs_transited,
+                purpose=request.purpose,
+                qubit=request.qubit,
+            )
+        )
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(
+                ChannelClosed(
+                    t_us=self.engine.now,
+                    flow_id=flow_id,
+                    source=request.source.as_tuple(),
+                    destination=request.dest.as_tuple(),
+                    hops=planned.hops,
+                    pairs_transited=pairs_transited,
+                )
+            )
+
+
+# -- registry ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[TransportBackend]] = {}
+
+
+def register_backend(cls: Type[TransportBackend]) -> Type[TransportBackend]:
+    """Class decorator: make ``cls`` selectable by its ``name``."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name or name == TransportBackend.name:
+        raise ConfigurationError(f"transport backend {cls!r} needs a distinct 'name'")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"transport backend name {name!r} is already registered to {existing!r}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def _ensure_builtin_backends() -> None:
+    # The built-in backends live in sibling modules that import this one, so
+    # they register through an import cycle-free lazy hook.
+    from . import detailed, flow  # noqa: F401
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """``{name: one-line description}`` for every registered backend."""
+    _ensure_builtin_backends()
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+
+
+def get_backend(name: str) -> Type[TransportBackend]:
+    """The backend class registered under ``name``."""
+    _ensure_builtin_backends()
+    key = (name or "").strip()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown transport backend {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def create_transport(
+    name: str,
+    engine: "SimulationEngine",
+    machine: "QuantumMachine",
+    *,
+    allocator: str = "incremental",
+) -> TransportBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``allocator`` reaches only backends that declare ``uses_allocator`` (the
+    fluid flow model's max-min implementation choice); granularities without
+    a rate allocator ignore it by construction rather than by convention.
+    """
+    cls = get_backend(name)
+    if cls.uses_allocator:
+        return cls(engine, machine, allocator=allocator)
+    return cls(engine, machine)

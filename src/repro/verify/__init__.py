@@ -21,10 +21,13 @@ _EXPORTS = {
     "diff_golden": "golden",
     "golden_path": "golden",
     "record_golden": "golden",
+    "BACKEND_MAKESPAN_RATIO": "harness",
+    "BACKEND_ORDER_TOLERANCE": "harness",
     "DIFFERENTIAL_KINDS": "harness",
     "Divergence": "harness",
     "ScenarioVerdict": "harness",
     "TracedRun": "harness",
+    "compare_backend_runs": "harness",
     "compare_runs": "harness",
     "traced_run": "harness",
     "verify_backends": "harness",

@@ -6,8 +6,10 @@ Three subcommands over the same scenario selection (catalog names, a
 ``run``
     Replay each scenario under every requested allocator and diff makespans,
     per-operation completion orders, channel timelines and flow-rate
-    (utilisation) timelines.  ``--backends`` adds the fluid-vs-detailed
-    cross-check.  Exits non-zero on any divergence.
+    (utilisation) timelines.  ``--backends`` additionally replays the
+    scenario under both transport backends (fluid and detailed) and holds
+    their makespans and op orders to the documented tolerances.  Exits
+    non-zero on any divergence.
 ``record``
     (Re-)serialize each scenario's canonical trace to its golden fixture —
     the one deliberate command that moves the goldens.
@@ -70,7 +72,8 @@ def add_verify_parser(subparsers: argparse._SubParsersAction) -> None:
     run.add_argument(
         "--backends",
         action="store_true",
-        help="also cross-check the fluid backend against the detailed per-pair backend",
+        help="also replay each scenario under the fluid and detailed transport "
+        "backends and diff makespans/op order within documented tolerances",
     )
 
     record = verify_subs.add_parser(

@@ -65,6 +65,13 @@ class TestLinkId:
         assert LinkId(Coordinate(2, 0), Coordinate(2, 4)).is_wrap
         assert not LinkId(Coordinate(0, 0), Coordinate(1, 0)).is_wrap
 
+    def test_stable_name_is_a_serialization_contract(self):
+        # Pinned exactly: JSON records and golden traces key per-link data by
+        # this string, so changing the format is a breaking change.
+        assert LinkId(Coordinate(2, 1), Coordinate(1, 1)).stable_name == "(1,1)-(2,1)"
+        assert LinkId(Coordinate(0, 0), Coordinate(7, 0)).stable_name == "(0,0)-(7,0)"
+        assert str(LinkId(Coordinate(1, 1), Coordinate(2, 1))) == "(1,1)-(2,1)"
+
 
 class TestMeshTopology:
     def test_node_and_link_counts(self):

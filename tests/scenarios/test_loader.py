@@ -104,6 +104,17 @@ class TestBundlesAndSweeps:
         # Each grid point is distinct work.
         assert len({s.spec_hash for s in specs}) == 4
 
+    def test_backend_is_a_sweep_axis(self):
+        # The transport backend sweeps like any other dotted spec path, so a
+        # grid can compare granularities point for point.
+        specs = expand_grid(
+            {"extends": "smoke"}, {"runtime.backend": ["fluid", "detailed"]}
+        )
+        assert [s.runtime.backend for s in specs] == ["fluid", "detailed"]
+        assert len({s.spec_hash for s in specs}) == 2
+        with pytest.raises(ScenarioError, match="runtime.backend"):
+            expand_grid({"extends": "smoke"}, {"runtime.backend": ["warp"]})
+
     def test_sweep_axis_must_be_list(self):
         with pytest.raises(ScenarioError, match="non-empty list"):
             expand_grid({"extends": "smoke"}, {"topology.kind": "mesh"})

@@ -146,6 +146,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "smoke" in out and "makespan" in out
 
+    def test_backends_lists_registered_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "fluid" in out and "detailed" in out
+
+    def test_scenarios_run_backend_override(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios",
+                "run",
+                "smoke",
+                "--backend",
+                "detailed",
+                "--no-cache",
+                "--emit-bench",
+                str(tmp_path / "bench.json"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["scenarios"][0]["backend"] == "detailed"
+
+    def test_scenarios_run_unknown_backend_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["scenarios", "run", "smoke", "--backend", "warp", "--no-cache"]
+        )
+        assert code == 2
+        assert "runtime.backend" in capsys.readouterr().err
+
     def test_scenarios_run_unknown_name(self, tmp_path, capsys):
         code = main(["scenarios", "run", "nope", "--cache-dir", str(tmp_path)])
         assert code == 2

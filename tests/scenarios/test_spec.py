@@ -94,6 +94,30 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="runtime.routing"):
             ScenarioSpec.from_dict(data)
 
+    def test_backend_defaults_to_fluid(self):
+        assert ScenarioSpec.from_dict(minimal()).runtime.backend == "fluid"
+
+    def test_backend_accepted(self):
+        data = minimal()
+        data["runtime"] = {"backend": "detailed"}
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.runtime.backend == "detailed"
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bad_backend_rejected(self):
+        data = minimal()
+        data["runtime"] = {"backend": "quantum"}
+        with pytest.raises(ScenarioError, match="runtime.backend"):
+            ScenarioSpec.from_dict(data)
+
+    def test_with_backend_round_trip(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        detailed = spec.with_backend("detailed")
+        assert detailed.runtime.backend == "detailed"
+        assert detailed.spec_hash != spec.spec_hash
+        with pytest.raises(ScenarioError, match="runtime.backend"):
+            spec.with_backend("bogus")
+
     def test_missing_name_rejected(self):
         with pytest.raises(ScenarioError, match="scenario.name"):
             ScenarioSpec.from_dict({"topology": {"kind": "mesh"}})

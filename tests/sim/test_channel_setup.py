@@ -56,6 +56,20 @@ class TestDetailedChannelSetup:
         assert len(result.teleporter_utilisation) == plan.hops - 1
         assert all(0.0 <= v <= 1.0 for v in result.generator_utilisation.values())
 
+    def test_utilisation_keys_use_stable_link_and_node_forms(self, machine, plan):
+        # Golden traces and JSON records key per-link/per-node quantities by
+        # these strings: the format is a compatibility contract.
+        result = DetailedChannelSetup(machine, plan, good_pairs_needed=4).run()
+        expected_links = {link.stable_name for link in plan.path.links}
+        assert set(result.generator_utilisation) == expected_links
+        assert all(
+            key.count("-") == 1 and key.startswith("(") for key in expected_links
+        )
+        expected_nodes = {
+            f"({node.x},{node.y})" for node in plan.path.intermediate_nodes
+        }
+        assert set(result.teleporter_utilisation) == expected_nodes
+
     def test_throughput_roughly_matches_queue_purifier_model(self, machine, plan):
         # With generous transport resources the endpoint purifier bank is the
         # bottleneck, so the detailed steady-state period should be within a

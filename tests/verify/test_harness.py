@@ -9,6 +9,7 @@ from repro.scenarios import get_scenario
 from repro.trace import CANONICAL_KINDS, FlowRateChanged, OperationRetired, RunStarted
 from repro.verify import (
     DIFFERENTIAL_KINDS,
+    compare_backend_runs,
     compare_runs,
     traced_run,
     verify_backends,
@@ -92,9 +93,35 @@ class TestBackendCrossCheck:
             divergences = verify_backends(get_scenario(name))
             assert divergences == [], [str(d) for d in divergences]
 
+    def test_traced_run_honours_backend(self):
+        run = traced_run(get_scenario("smoke"), backend="detailed")
+        assert run.backend == "detailed"
+        assert run.result.backend == "detailed"
+        assert run.makespan_us > 0
+
     def test_tight_ratio_reports_divergence(self):
         # With an absurdly tight tolerance the check must trip — proving the
         # comparison actually measures something.
-        divergences = verify_backends(get_scenario("smoke"), period_ratio=1.0000001)
+        divergences = verify_backends(
+            get_scenario("smoke"), makespan_ratio=1.0000001, order_tolerance=0.0
+        )
         assert divergences
-        assert all(d.aspect == "backend_throughput" for d in divergences)
+        aspects = {d.aspect for d in divergences}
+        assert "backend_makespan" in aspects
+
+    def test_rejects_single_backend(self):
+        with pytest.raises(ScenarioError):
+            verify_backends(get_scenario("smoke"), backends=["fluid"])
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ScenarioError):
+            verify_backends(get_scenario("smoke"), backends=["fluid", "bogus"])
+
+    def test_compare_backend_runs_detects_op_set_mismatch(self):
+        a = traced_run(get_scenario("smoke"), backend="fluid")
+        b = traced_run(get_scenario("smoke"), backend="detailed")
+        b.records = [r for r in b.records if r.kind != OperationRetired.kind][:-1] + [
+            r for r in b.records if r.kind == OperationRetired.kind
+        ][:-1]
+        aspects = {d.aspect for d in compare_backend_runs(a, b)}
+        assert "backend_op_set" in aspects
