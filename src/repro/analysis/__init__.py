@@ -15,6 +15,7 @@ from .fig10 import figure10
 from .fig11 import figure11
 from .fig12 import figure12
 from .fig16 import figure16
+from .fidelity_bandwidth import fidelity_bandwidth_tradeoff, scenario_fidelity_table
 from .tables import table1, table2, derived_channel_table
 from .experiments import EXPERIMENTS, Experiment, get_experiment, list_experiments
 from .report import reproduction_report, run_experiments
@@ -26,6 +27,7 @@ __all__ = [
     "Series",
     "TableData",
     "derived_channel_table",
+    "fidelity_bandwidth_tradeoff",
     "figure10",
     "figure11",
     "figure12",
@@ -38,6 +40,7 @@ __all__ = [
     "list_experiments",
     "reproduction_report",
     "run_experiments",
+    "scenario_fidelity_table",
     "table1",
     "table2",
 ]

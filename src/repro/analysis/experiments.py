@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
+from .fidelity_bandwidth import fidelity_bandwidth_tradeoff
 from .fig8 import figure8
 from .fig9 import figure9
 from .fig10 import figure10
@@ -92,6 +93,16 @@ EXPERIMENTS: Dict[str, Experiment] = {
         description="Teleported EPR pairs vs uniform operation error rate",
         expectation="All placements become infeasible near 1e-5; ~100x spread in the working regime.",
         runner=figure12,
+    ),
+    "fidelity_bandwidth": Experiment(
+        identifier="fidelity_bandwidth",
+        kind="figure",
+        description="Delivered EPR error vs raw-pair bandwidth per purification level",
+        expectation=(
+            "Each tree level ~doubles the raw-pair cost and cuts the delivered error "
+            "until the local-operation noise floor flattens the curve."
+        ),
+        runner=fidelity_bandwidth_tradeoff,
     ),
     "figure16": Experiment(
         identifier="figure16",

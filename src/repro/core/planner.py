@@ -82,6 +82,7 @@ class ChannelPlanner:
             self.params, protocol=protocol, placement=self.placement
         )
         self._budget_cache: dict = {}
+        self._arrival_cache: dict = {}
 
     def route(self, source: Coordinate, destination: Coordinate) -> Path:
         """Dimension-order path between two T' nodes."""
@@ -94,6 +95,23 @@ class ChannelPlanner:
         if hops not in self._budget_cache:
             self._budget_cache[hops] = self._budget_model.budget(hops)
         return self._budget_cache[hops]
+
+    def arrival_state(self, hops: int):
+        """Bell-diagonal endpoint arrival state for ``hops`` (cached per distance).
+
+        This is the state the endpoint queue purifiers receive — generation,
+        chained teleportation and the local moves already applied — and the
+        input the fidelity-accounting pipeline purifies, analytically on the
+        fluid backend and pair by pair on the detailed one.
+        """
+        if hops not in self._arrival_cache:
+            self._arrival_cache[hops] = self._budget_model.arrival_trajectory(hops)[0]
+        return self._arrival_cache[hops]
+
+    @property
+    def protocol_instance(self):
+        """The purification protocol object the budget model runs."""
+        return self._budget_model.protocol
 
     def plan(self, source: Coordinate, destination: Coordinate) -> ChannelPlan:
         """Plan a channel between two T' nodes."""

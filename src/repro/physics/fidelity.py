@@ -8,20 +8,32 @@ where fidelity appears through the combination ``(4F - 1) / 3``.
 
 from __future__ import annotations
 
+import math
+
 from ..errors import FidelityError
 
 
 def validate_fidelity(fidelity: float, *, name: str = "fidelity") -> float:
-    """Validate that ``fidelity`` lies in [0, 1] and return it as a float."""
+    """Validate that ``fidelity`` is finite and lies in [0, 1]; return it as a float.
+
+    Non-finite inputs (NaN, +/-inf) are rejected explicitly: NaN compares
+    False against every bound, so a bare range check cannot be trusted to
+    classify it, and letting NaN through would poison every downstream
+    Werner-algebra product silently.
+    """
     value = float(fidelity)
+    if not math.isfinite(value):
+        raise FidelityError(f"{name} must be finite, got {value}")
     if not (0.0 <= value <= 1.0):
         raise FidelityError(f"{name} must be in [0, 1], got {value}")
     return value
 
 
 def validate_error(error: float, *, name: str = "error") -> float:
-    """Validate that ``error`` lies in [0, 1] and return it as a float."""
+    """Validate that ``error`` is finite and lies in [0, 1]; return it as a float."""
     value = float(error)
+    if not math.isfinite(value):
+        raise FidelityError(f"{name} must be finite, got {value}")
     if not (0.0 <= value <= 1.0):
         raise FidelityError(f"{name} must be in [0, 1], got {value}")
     return value
@@ -50,6 +62,8 @@ def werner_parameter(fidelity: float) -> float:
 
 def fidelity_from_werner_parameter(w: float) -> float:
     """Inverse of :func:`werner_parameter`."""
+    if not math.isfinite(w):
+        raise FidelityError(f"Werner parameter must be finite, got {w}")
     if not (-1.0 / 3.0 - 1e-12 <= w <= 1.0 + 1e-12):
         raise FidelityError(f"Werner parameter must be in [-1/3, 1], got {w}")
     return (3.0 * w + 1.0) / 4.0
@@ -70,7 +84,13 @@ def combine_werner(*fidelities: float) -> float:
 
 
 def clamp_fidelity(value: float) -> float:
-    """Clamp a numerically noisy fidelity into [0, 1]."""
+    """Clamp a numerically noisy fidelity into [0, 1].
+
+    Infinities clamp like any other out-of-range value; NaN is rejected
+    because clamping cannot recover a direction from it.
+    """
+    if math.isnan(value):
+        raise FidelityError("cannot clamp NaN to a fidelity")
     if value < 0.0:
         return 0.0
     if value > 1.0:

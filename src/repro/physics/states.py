@@ -20,6 +20,7 @@ with ``phi_plus`` the reference (target) Bell state, so
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Tuple
 
@@ -45,6 +46,10 @@ class BellDiagonalState:
     def __post_init__(self) -> None:
         coeffs = self.coefficients
         for name, value in zip(self._FIELDS, coeffs):
+            # NaN compares False against every bound, so finiteness must be
+            # checked explicitly rather than relying on the range tests.
+            if not math.isfinite(value):
+                raise FidelityError(f"Bell coefficient {name} must be finite, got {value}")
             if value < -_NORMALISATION_TOL:
                 raise FidelityError(f"Bell coefficient {name} must be non-negative, got {value}")
         total = sum(coeffs)

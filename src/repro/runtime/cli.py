@@ -17,10 +17,12 @@ Subcommands
     pool.  ``--backend NAME`` re-runs the selection on another transport
     granularity; ``--emit-bench out.json`` writes the machine-readable
     benchmark payload the CI perf trajectory records.
-``verify run|record|diff``
+``verify run|record|diff|fidelity``
     The differential-verification harness (see :mod:`repro.verify.cli`):
-    replay scenarios under both allocators and diff their dynamics, or
-    record/diff canonical golden traces under ``tests/golden/``.
+    replay scenarios under both allocators and diff their dynamics,
+    record/diff canonical golden traces under ``tests/golden/``, or hold the
+    fluid and detailed backends' delivered channel fidelities to the
+    documented tolerance.
 
 ``run``, ``report`` and the scenario commands execute through
 :class:`repro.runtime.ExperimentRunner`, so independent experiments run

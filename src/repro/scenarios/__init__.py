@@ -10,6 +10,7 @@ and the CLI both consume.  ``python -m repro scenarios`` is the front end.
 """
 
 from .spec import (
+    NoiseSpec,
     PhysicsSpec,
     RuntimeSpec,
     ScenarioSpec,
@@ -31,6 +32,7 @@ from .run import build_machine, build_stream, run_scenario
 from .bench import bench_payload, current_git_sha, write_bench_file
 
 __all__ = [
+    "NoiseSpec",
     "PhysicsSpec",
     "RuntimeSpec",
     "ScenarioSpec",

@@ -34,6 +34,11 @@ _CATALOG: Dict[str, Dict[str, Any]] = {
         "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
         "runtime": {"layout": "home_base"},
     },
+    "smoke_noisy": {
+        "description": "Smoke scenario with fidelity accounting on (noise.* set).",
+        "extends": "smoke",
+        "noise": {"base_fidelity": 0.999, "target_fidelity": 0.9999},
+    },
     "ring_qft": {
         "description": "QFT on a 9-node ring; wrap links halve the mean distance.",
         "topology": {"kind": "ring", "width": 9},

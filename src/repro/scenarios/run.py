@@ -13,7 +13,8 @@ spec's hash.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Mapping, Union
+from dataclasses import asdict, replace
+from typing import Any, Dict, Mapping, Optional, Union
 
 from ..network.nodes import ResourceAllocation
 from ..network.routing import DimensionOrder
@@ -22,11 +23,12 @@ from ..sim.machine import QuantumMachine
 from ..sim.simulator import CommunicationSimulator
 from ..workloads.instructions import InstructionStream
 from ..workloads.registry import build_workload
-from .spec import ScenarioSpec
+from .spec import NoiseSpec, ScenarioSpec
 
 #: Results carry a schema version so downstream consumers (the CI benchmark
-#: trajectory) can evolve without guessing.
-RESULT_SCHEMA_VERSION = 1
+#: trajectory) can evolve without guessing.  Version 2 added the fidelity
+#: accounting columns (``noise``, ``fidelity``).
+RESULT_SCHEMA_VERSION = 2
 
 
 def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
@@ -37,15 +39,40 @@ def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
     return ScenarioSpec.from_dict(spec, name="unnamed")
 
 
+def _apply_noise(params: IonTrapParameters, noise: Optional[NoiseSpec]) -> IonTrapParameters:
+    """Fold a scenario's noise overrides into the ion-trap parameter bundle."""
+    if noise is None:
+        return params
+    errors = params.errors
+    if noise.gate_error is not None:
+        errors = replace(
+            errors, one_qubit_gate=noise.gate_error, two_qubit_gate=noise.gate_error
+        )
+    if noise.measurement_error is not None:
+        errors = replace(errors, measure=noise.measurement_error)
+    if errors is not params.errors:
+        params = params.with_errors(errors)
+    if noise.base_fidelity is not None:
+        params = replace(params, zero_prep_fidelity=noise.base_fidelity)
+    return params
+
+
 def build_machine(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> QuantumMachine:
-    """Construct the machine a scenario describes."""
+    """Construct the machine a scenario describes.
+
+    A ``noise`` section turns fidelity tracking on: its error overrides fold
+    into the parameter bundle and its ``target_fidelity`` (when given) drives
+    purification-level selection machine-wide.
+    """
     spec = _as_spec(spec)
     topo = spec.topology
     physics = spec.physics
     runtime = spec.runtime
+    noise = spec.noise
     params = IonTrapParameters.default()
     if topo.cells_per_hop != params.cells_per_hop:
         params = params.with_hop_cells(topo.cells_per_hop)
+    params = _apply_noise(params, noise)
     return QuantumMachine(
         topo.width,
         topo.height,
@@ -63,6 +90,8 @@ def build_machine(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> QuantumMachin
         logical_gate_us=physics.logical_gate_us,
         routing_order=DimensionOrder(runtime.routing),
         generator_bandwidth_scale=physics.generator_bandwidth_scale,
+        track_fidelity=noise is not None,
+        target_fidelity=noise.target_fidelity if noise is not None else None,
     )
 
 
@@ -109,5 +138,7 @@ def run_scenario(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]
         "makespan_us": result.makespan_us,
         "classical_messages": result.metadata.get("classical_messages"),
         "utilisation": dict(result.resource_utilisation),
+        "noise": asdict(spec.noise) if spec.noise is not None else None,
+        "fidelity": result.fidelity_summary(),
         "wall_time_s": wall_s,
     }

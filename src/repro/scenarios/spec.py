@@ -18,6 +18,7 @@ mapping may carry ``extends: <name>`` and only the keys it wants to change.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -78,10 +79,35 @@ def _float_field(
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ScenarioError(f"{where}.{key} must be a number, got {value!r}")
     value = float(value)
+    # NaN compares False against every bound, so range checks alone would
+    # wave it (and infinities) straight into cache keys and physics models.
+    if not math.isfinite(value):
+        raise ScenarioError(f"{where}.{key} must be finite, got {value}")
     if exclusive and value <= minimum:
         raise ScenarioError(f"{where}.{key} must be > {minimum}, got {value}")
     if not exclusive and value < minimum:
         raise ScenarioError(f"{where}.{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def _optional_unit_float(
+    data: Mapping[str, Any], key: str, where: str, *,
+    low: float, high: float, low_open: bool = False, high_open: bool = False,
+) -> Optional[float]:
+    """An optional float in a [low, high] interval (open ends selectable)."""
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{where}.{key} must be a number or null, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ScenarioError(f"{where}.{key} must be finite, got {value}")
+    low_ok = value > low if low_open else value >= low
+    high_ok = value < high if high_open else value <= high
+    if not (low_ok and high_ok):
+        bounds = f"{'(' if low_open else '['}{low}, {high}{')' if high_open else ']'}"
+        raise ScenarioError(f"{where}.{key} must be in {bounds}, got {value}")
     return value
 
 
@@ -206,6 +232,58 @@ class PhysicsSpec:
 
 
 @dataclass(frozen=True)
+class NoiseSpec:
+    """Noise model and fidelity-accounting knobs.
+
+    The *presence* of a ``noise`` section — even an empty one — switches the
+    fidelity-accounting pipeline on: both transport backends then track the
+    EPR fidelity every channel delivers, select purification levels against
+    the target, and emit ``fidelity`` trace records.  Every field is optional
+    and sweepable as ``noise.<field>``:
+
+    * ``base_fidelity`` — fidelity of the zero-prepared qubits entering EPR
+      generation (Eq. 4's ``F_zero``; default: the paper's 0.9995);
+    * ``gate_error`` — uniform one-/two-qubit gate error probability
+      (default: the Table 2 rates);
+    * ``measurement_error`` — measurement flip probability (default Table 2);
+    * ``target_fidelity`` — delivered-fidelity target driving purification
+      level selection (default: the fault-tolerance threshold ``1 - 7.5e-5``).
+
+    Scenarios without a ``noise`` section run exactly as before — bitwise
+    identical fluid dynamics, no fidelity columns, unchanged golden traces.
+    """
+
+    base_fidelity: Optional[float] = None
+    gate_error: Optional[float] = None
+    measurement_error: Optional[float] = None
+    target_fidelity: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "NoiseSpec":
+        data = _require_mapping(data, "noise")
+        _reject_unknown(
+            data,
+            ("base_fidelity", "gate_error", "measurement_error", "target_fidelity"),
+            "noise",
+        )
+        return cls(
+            base_fidelity=_optional_unit_float(
+                data, "base_fidelity", "noise", low=0.0, high=1.0, low_open=True
+            ),
+            gate_error=_optional_unit_float(
+                data, "gate_error", "noise", low=0.0, high=1.0, high_open=True
+            ),
+            measurement_error=_optional_unit_float(
+                data, "measurement_error", "noise", low=0.0, high=1.0, high_open=True
+            ),
+            target_fidelity=_optional_unit_float(
+                data, "target_fidelity", "noise", low=0.0, high=1.0,
+                low_open=True, high_open=True,
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """How the scenario executes: backend, layout, allocator, routing, limits."""
 
@@ -234,8 +312,9 @@ class RuntimeSpec:
         )
 
 
-#: Top-level scenario keys (``extends`` is consumed by the loader).
-SECTION_KEYS = ("topology", "workload", "physics", "runtime")
+#: Top-level scenario keys (``extends`` is consumed by the loader).  The
+#: ``noise`` section is optional: absent means the fidelity pipeline is off.
+SECTION_KEYS = ("topology", "workload", "physics", "runtime", "noise")
 TOP_LEVEL_KEYS = ("name", "description", "extends") + SECTION_KEYS
 
 
@@ -248,6 +327,8 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     physics: PhysicsSpec = field(default_factory=PhysicsSpec)
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    #: Optional noise model; None keeps the fidelity pipeline off entirely.
+    noise: Optional[NoiseSpec] = None
     description: str = ""
 
     @classmethod
@@ -266,18 +347,31 @@ class ScenarioSpec:
         description = data.get("description", "")
         if not isinstance(description, str):
             raise ScenarioError(f"scenario.description must be a string, got {description!r}")
+        # An explicit ``noise: null`` means the same as an absent section:
+        # fidelity accounting off.  An *empty* mapping enables it with the
+        # default physics, so ``noise: {}`` is the minimal opt-in.
+        noise = data.get("noise")
         return cls(
             name=resolved_name.strip(),
             topology=TopologySpec.from_dict(data.get("topology")),
             workload=WorkloadSpec.from_dict(data.get("workload")),
             physics=PhysicsSpec.from_dict(data.get("physics")),
             runtime=RuntimeSpec.from_dict(data.get("runtime")),
+            noise=NoiseSpec.from_dict(noise) if noise is not None else None,
             description=description,
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form; ``from_dict`` round-trips it exactly."""
-        return asdict(self)
+        """Plain-dict form; ``from_dict`` round-trips it exactly.
+
+        ``noise`` is omitted when unset, so specs predating the fidelity
+        pipeline serialize (and hash — see :meth:`canonical_dict`) exactly as
+        they always did.
+        """
+        payload = asdict(self)
+        if self.noise is None:
+            payload.pop("noise")
+        return payload
 
     def canonical_dict(self) -> Dict[str, Any]:
         """The dict form minus the cosmetic fields (name, description).
@@ -298,6 +392,16 @@ class ScenarioSpec:
         """The same scenario on a different transport backend (validated)."""
         runtime = RuntimeSpec.from_dict({**asdict(self.runtime), "backend": backend})
         return replace(self, runtime=runtime)
+
+    def with_noise(self, noise: Optional[Mapping[str, Any]]) -> "ScenarioSpec":
+        """The same scenario with a (validated) noise section.
+
+        ``None`` switches fidelity accounting off; a mapping — even an empty
+        one — switches it on with the given overrides.
+        """
+        return replace(
+            self, noise=NoiseSpec.from_dict(noise) if noise is not None else None
+        )
 
     @property
     def spec_hash(self) -> str:

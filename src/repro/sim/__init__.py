@@ -24,6 +24,7 @@ point; its ``backend`` argument selects the granularity.
 """
 
 from .engine import Event, SimulationEngine
+from .fidelity import ChannelFidelityModel, ChannelFidelityProfile
 from .resources import ResourcePool, ServiceCenter
 from .machine import QuantumMachine
 from .results import ChannelRecord, OperationRecord, SimulationResult
@@ -40,6 +41,8 @@ from .transport import (
 )
 
 __all__ = [
+    "ChannelFidelityModel",
+    "ChannelFidelityProfile",
     "ChannelRecord",
     "CommunicationSimulator",
     "Event",

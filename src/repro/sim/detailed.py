@@ -115,23 +115,47 @@ class _DetailedChannel:
         self.links: List[LinkId] = list(plan.path.links)
         machine = transport.machine
         self.good_pairs_needed = machine.good_pairs_per_logical_communication()
-        depth, self.raw_pairs_needed = machine.detailed_pair_budget(plan.hops)
-        # Purification happens at *both* endpoints: each end runs the same
-        # queue structure on its halves of the pairs, occupying that node's
-        # shared purifier bank (exactly the work the fluid model charges to
-        # both endpoint purifiers).  A good pair exists once both sides have
-        # finished purifying it.
-        self.purifiers = tuple(
-            QueuePurifier(
-                transport.engine,
-                depth=depth,
-                params=machine.params,
-                on_good_pair=lambda side=side: self._good_pair_ready(side),
-                name=f"P{endpoint}",
-                service=transport.purifier_service_for(endpoint),
+        # The threshold-driven level selection can legitimately pick zero
+        # rounds (a loose noise.target_fidelity): then the arrival pairs are
+        # already good, no purifier runs — matching the fluid model, which
+        # charges zero purifier work at level 0 — and one raw pair yields one
+        # good pair.  detailed_pair_budget's depth clamp only applies to the
+        # purifying regime.
+        self.purifier_depth = machine.planner.budget_for_hops(plan.hops).endpoint_rounds
+        # With fidelity accounting on, every queued pair carries its
+        # Bell-diagonal arrival state and each purification round runs the
+        # protocol's exact recurrence — the sampled counterpart of the fluid
+        # backend's analytical Werner algebra.
+        input_state = protocol = None
+        if transport.fidelity is not None:
+            input_state = transport.fidelity.profile(plan.hops).arrival_state
+            protocol = machine.planner.protocol_instance
+        self._input_fidelity = input_state.fidelity if input_state is not None else None
+        if self.purifier_depth == 0:
+            self.raw_pairs_needed = self.good_pairs_needed
+            self.purifiers = ()
+        else:
+            self.purifier_depth, self.raw_pairs_needed = machine.detailed_pair_budget(
+                plan.hops
             )
-            for side, endpoint in enumerate((plan.source, plan.destination))
-        )
+            # Purification happens at *both* endpoints: each end runs the same
+            # queue structure on its halves of the pairs, occupying that node's
+            # shared purifier bank (exactly the work the fluid model charges to
+            # both endpoint purifiers).  A good pair exists once both sides have
+            # finished purifying it.
+            self.purifiers = tuple(
+                QueuePurifier(
+                    transport.engine,
+                    depth=self.purifier_depth,
+                    params=machine.params,
+                    on_good_pair=lambda side=side: self._good_pair_ready(side),
+                    name=f"P{endpoint}",
+                    service=transport.purifier_service_for(endpoint),
+                    input_state=input_state,
+                    protocol=protocol,
+                )
+                for side, endpoint in enumerate((plan.source, plan.destination))
+            )
         self._injected = 0
         self._in_flight = 0
         self._good_pairs = [0, 0]
@@ -155,8 +179,13 @@ class _DetailedChannel:
 
     def pair_delivered(self, walk: _PairWalk) -> None:
         self._in_flight -= 1
-        for purifier in self.purifiers:
-            purifier.accept_raw_pair()
+        if self.purifiers:
+            for purifier in self.purifiers:
+                purifier.accept_raw_pair()
+        else:
+            # Level 0: the delivered pair is already above target at both ends.
+            for side in (0, 1):
+                self._good_pair_ready(side)
         self._inject()
 
     def _good_pair_ready(self, side: int) -> None:
@@ -202,6 +231,22 @@ class _DetailedChannel:
 
     def _complete(self) -> None:
         self.transport._finish_channel(self)
+
+    def sampled_fidelity(self) -> "float | None":
+        """Mean fidelity of the good pairs this channel consumed, or None.
+
+        Both endpoint purifiers process the halves of the same pairs, so
+        either side's stream is the channel's; side 0 is used.  Only the
+        ``good_pairs_needed`` pairs the data teleports actually consumed
+        count — late stragglers from the pipelined surplus do not.  At
+        purification level 0 the good pairs *are* the arrival pairs.
+        """
+        if not self.purifiers:
+            return self._input_fidelity
+        fidelities = self.purifiers[0].good_pair_fidelities[: self.good_pairs_needed]
+        if not fidelities:
+            return None
+        return sum(fidelities) / len(fidelities)
 
 
 @register_backend
@@ -287,11 +332,14 @@ class DetailedTransport(TransportBackend):
 
     def _finish_channel(self, channel: _DetailedChannel) -> None:
         del self._active[channel.flow_id]
+        sampled = channel.sampled_fidelity() if self.fidelity is not None else None
         self._close_channel(
             channel.flow_id,
             channel.planned,
             start_us=channel.start_us,
             pairs_transited=float(channel.raw_pairs_needed),
+            delivered_fidelity=sampled,
+            purification_level=channel.purifier_depth if sampled is not None else None,
         )
         channel.done()
 

@@ -1,0 +1,130 @@
+"""Per-channel fidelity accounting shared by both transport backends.
+
+The paper judges a quantum interconnect by the *fidelity* of the EPR pairs it
+delivers, not just by how many pairs per second it moves.  This module is the
+bridge between the analytical physics (:mod:`repro.physics`, :mod:`repro.core`)
+and the runtime: when a machine carries a noise model
+(:attr:`~repro.sim.machine.QuantumMachine.track_fidelity`), every transport
+backend owns a :class:`ChannelFidelityModel` and reports what each channel
+actually delivered.
+
+The model answers two questions, both memoized per hop count:
+
+* **At channel-open time** — which purification level must the endpoint queue
+  purifiers run so the delivered pairs clear the target fidelity?  The
+  selection is threshold-driven: the machine folds the scenario's
+  ``noise.target_fidelity`` into ``params.threshold_error``, the budget model
+  picks the minimum level whose output clears it, and the resulting delivered
+  state is checked through :func:`repro.physics.threshold.check_fidelity`.
+* **At channel-close time** — what fidelity did the channel deliver?  The
+  fluid backend reports the analytical value (Werner/Bell-diagonal algebra of
+  Eq. 3 plus the purification recurrence); the detailed backend reports the
+  per-pair outcome sampled from its event-driven queue purifiers.  The two
+  agree within :data:`repro.verify.harness.FIDELITY_ABS_TOL`, which
+  ``python -m repro verify fidelity`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from ..physics.states import BellDiagonalState
+from ..physics.threshold import check_fidelity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import QuantumMachine
+
+
+@dataclass(frozen=True)
+class ChannelFidelityProfile:
+    """Fidelity plan of a channel, fixed by its hop count.
+
+    Attributes
+    ----------
+    hops:
+        Channel length in teleportation hops.
+    arrival_state / arrival_fidelity:
+        Bell-diagonal state (and its fidelity) reaching the endpoint queue
+        purifiers after generation, chained teleportation and local moves.
+    purification_level:
+        Endpoint purification tree depth selected at channel-open time so the
+        delivered pairs clear ``target_fidelity`` (the budget model's
+        threshold-driven choice).
+    delivered_state / delivered_fidelity:
+        Analytical state (and fidelity) after ``purification_level`` rounds.
+    target_fidelity:
+        The fidelity the channel must deliver (the fault-tolerance threshold,
+        or the scenario's ``noise.target_fidelity`` override).
+    meets_target:
+        Whether the delivered fidelity clears the target, judged through
+        :func:`repro.physics.threshold.check_fidelity`.
+    expected_pairs:
+        Expected raw input pairs the endpoint tree consumes per delivered
+        pair — the bandwidth cost of the fidelity (>= 1 always, ~``2**level``).
+    """
+
+    hops: int
+    arrival_state: BellDiagonalState
+    arrival_fidelity: float
+    purification_level: int
+    delivered_state: BellDiagonalState
+    delivered_fidelity: float
+    target_fidelity: float
+    meets_target: bool
+    expected_pairs: float
+
+
+class ChannelFidelityModel:
+    """Memoized per-distance fidelity profiles for one machine.
+
+    One instance is shared by every transport backend created on the machine
+    (and across runs): profiles are pure functions of the machine's physics,
+    so the memoisation is exact.
+    """
+
+    def __init__(self, machine: "QuantumMachine") -> None:
+        self.machine = machine
+        self._profiles: Dict[int, ChannelFidelityProfile] = {}
+
+    @property
+    def target_fidelity(self) -> float:
+        """The delivered-fidelity target every channel is held to."""
+        return self.machine.params.threshold_fidelity
+
+    def profile(self, hops: int) -> ChannelFidelityProfile:
+        """The fidelity profile of a channel of ``hops`` (memoized)."""
+        profile = self._profiles.get(hops)
+        if profile is None:
+            profile = self._compute(hops)
+            self._profiles[hops] = profile
+        return profile
+
+    def _compute(self, hops: int) -> ChannelFidelityProfile:
+        planner = self.machine.planner
+        budget = planner.budget_for_hops(hops)
+        arrival = planner.arrival_state(hops)
+        level = budget.endpoint_rounds
+        if level > 0:
+            outcomes = planner.protocol_instance.iterate(arrival, level)
+            delivered = outcomes[-1].state
+        else:
+            delivered = arrival
+        check = check_fidelity(delivered.fidelity, self.machine.params)
+        # An infeasible channel (the Figure 12 breakdown regime) reports the
+        # best it can do at the capped level; meets_target stays False and the
+        # expected pair count is infinite, exactly as the budget says.
+        return ChannelFidelityProfile(
+            hops=hops,
+            arrival_state=arrival,
+            arrival_fidelity=arrival.fidelity,
+            purification_level=level,
+            delivered_state=delivered,
+            delivered_fidelity=delivered.fidelity,
+            target_fidelity=check.threshold_fidelity,
+            meets_target=check.satisfied and budget.feasible,
+            expected_pairs=budget.endpoint_pairs,
+        )
+
+
+__all__ = ["ChannelFidelityModel", "ChannelFidelityProfile"]

@@ -9,7 +9,7 @@ flow model shares between concurrent channels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..core.logical import LogicalQubitEncoding, STEANE_LEVEL_2
@@ -83,6 +83,8 @@ class QuantumMachine:
         logical_gate_us: float = 300.0,
         routing_order: DimensionOrder = DimensionOrder.XY,
         generator_bandwidth_scale: float = 1.0,
+        track_fidelity: bool = False,
+        target_fidelity: Optional[float] = None,
     ) -> None:
         if logical_gate_us < 0:
             raise ConfigurationError(f"logical_gate_us must be non-negative, got {logical_gate_us}")
@@ -92,6 +94,18 @@ class QuantumMachine:
             )
         self.allocation = allocation or ResourceAllocation()
         self.params = params or IonTrapParameters.default()
+        if target_fidelity is not None:
+            # The target folds into the threshold, so purification-level
+            # selection (budget.endpoint_rounds), the fluid purifier work and
+            # the detailed queue depth all follow the same target by
+            # construction instead of by convention.
+            if not (0.0 < target_fidelity < 1.0):
+                raise ConfigurationError(
+                    f"target_fidelity must be in (0, 1), got {target_fidelity}"
+                )
+            self.params = replace(self.params, threshold_error=1.0 - target_fidelity)
+        self.track_fidelity = track_fidelity
+        self._fidelity_model = None
         self.placement = placement or endpoint_only()
         self.encoding = encoding
         self.protocol = protocol
@@ -165,6 +179,23 @@ class QuantumMachine:
         from ..trace.records import machine_record
 
         return machine_record(self, workload=workload, operations=operations, t_us=t_us)
+
+    # -- fidelity accounting --------------------------------------------------------------
+
+    def fidelity_model(self):
+        """The shared per-channel fidelity model, or None when not tracking.
+
+        Transport backends call this once at construction; scenarios switch
+        tracking on by carrying a ``noise`` section (see
+        :mod:`repro.scenarios.spec`), which sets ``track_fidelity``.
+        """
+        if not self.track_fidelity:
+            return None
+        if self._fidelity_model is None:
+            from .fidelity import ChannelFidelityModel
+
+            self._fidelity_model = ChannelFidelityModel(self)
+        return self._fidelity_model
 
     # -- flow-model bandwidths ------------------------------------------------------------
     #

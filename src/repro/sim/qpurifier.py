@@ -23,6 +23,8 @@ from typing import Callable, List, Optional
 
 from ..errors import ConfigurationError
 from ..physics.parameters import IonTrapParameters
+from ..physics.purification import PurificationProtocol
+from ..physics.states import BellDiagonalState
 from ..trace.records import PurificationMilestone
 from .engine import SimulationEngine
 from .resources import ServiceCenter
@@ -124,6 +126,13 @@ class QueuePurifier:
     The ``units`` purifier units are shared across levels through a single
     :class:`~repro.sim.resources.ServiceCenter`, matching the paper's design
     where a handful of units serve the whole queue structure.
+
+    When ``input_state`` and ``protocol`` are given, the purifier additionally
+    tracks the Bell-diagonal state of every queued pair and computes each
+    round's outcome through the protocol's exact recurrence — the per-pair
+    fidelity accounting the detailed transport backend reports.  The tracking
+    is purely computational (no extra events), so the queueing dynamics are
+    identical with it on or off.
     """
 
     def __init__(
@@ -136,9 +145,15 @@ class QueuePurifier:
         on_good_pair: Optional[Callable[[], None]] = None,
         name: str = "queue_purifier",
         service: Optional[ServiceCenter] = None,
+        input_state: Optional[BellDiagonalState] = None,
+        protocol: Optional[PurificationProtocol] = None,
     ) -> None:
         if depth < 1:
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if (input_state is None) != (protocol is None):
+            raise ConfigurationError(
+                "fidelity tracking needs both input_state and protocol (or neither)"
+            )
         self.engine = engine
         self.depth = depth
         self.params = params or IonTrapParameters.default()
@@ -154,6 +169,13 @@ class QueuePurifier:
         self._levels: List[int] = [0] * (depth + 1)
         self._good_pairs = 0
         self._rounds_executed = 0
+        self._input_state = input_state
+        self._protocol = protocol
+        #: FIFO state queue per level, parallel to the ``_levels`` counters.
+        self._level_states: Optional[List[List[BellDiagonalState]]] = (
+            [[] for _ in range(depth + 1)] if input_state is not None else None
+        )
+        self._good_pair_fidelities: List[float] = []
 
     # -- state -------------------------------------------------------------------
 
@@ -174,11 +196,18 @@ class QueuePurifier:
     def service(self) -> ServiceCenter:
         return self._service
 
+    @property
+    def good_pair_fidelities(self) -> List[float]:
+        """Fidelity of each emitted good pair (empty unless tracking states)."""
+        return list(self._good_pair_fidelities)
+
     # -- operation ----------------------------------------------------------------
 
     def accept_raw_pair(self) -> None:
         """Inject one raw pair at level 0."""
         self._levels[0] += 1
+        if self._level_states is not None:
+            self._level_states[0].append(self._input_state)
         self._try_start_rounds()
 
     def _try_start_rounds(self) -> None:
@@ -187,12 +216,27 @@ class QueuePurifier:
                 self._levels[level] -= 2
                 duration = self.params.times.purify_round(0.0)
                 self._rounds_executed += 1
-                self._service.submit(duration, lambda lv=level: self._round_done(lv))
+                out_state = None
+                if self._level_states is not None:
+                    # The outcome is a pure function of the two input states,
+                    # so it is computed at submit time and merely delivered at
+                    # round completion — no timing impact.
+                    queue = self._level_states[level]
+                    pair_a, pair_b = queue.pop(0), queue.pop(0)
+                    out_state = self._protocol.round(pair_a, pair_b).state
+                self._service.submit(
+                    duration, lambda lv=level, st=out_state: self._round_done(lv, st)
+                )
 
-    def _round_done(self, level: int) -> None:
+    def _round_done(self, level: int, state: Optional[BellDiagonalState] = None) -> None:
         self._levels[level + 1] += 1
+        if self._level_states is not None and state is not None:
+            self._level_states[level + 1].append(state)
         if level + 1 == self.depth:
             self._levels[level + 1] -= 1
+            if self._level_states is not None:
+                emitted = self._level_states[level + 1].pop(0)
+                self._good_pair_fidelities.append(emitted.fidelity)
             self._good_pairs += 1
             trace = self.engine.trace
             if trace is not None and trace.wants(PurificationMilestone.kind):

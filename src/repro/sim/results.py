@@ -26,6 +26,11 @@ class ChannelRecord:
     pairs_transited: float
     purpose: str = "operation"
     qubit: Optional[int] = None
+    #: Fidelity accounting (None on runs without a noise model): the EPR
+    #: fidelity the channel delivered and the endpoint purification tree
+    #: depth selected at channel-open time to reach it.
+    delivered_fidelity: Optional[float] = None
+    purification_level: Optional[int] = None
 
     @property
     def duration_us(self) -> float:
@@ -61,6 +66,8 @@ class SimulationResult:
     resource_utilisation: Dict[str, float] = field(default_factory=dict)
     #: Transport backend that serviced the run (registry name).
     backend: str = "fluid"
+    #: Delivered-fidelity target on noise-tracked runs (None otherwise).
+    target_fidelity: Optional[float] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
     # -- headline numbers -----------------------------------------------------
@@ -107,6 +114,36 @@ class SimulationResult:
             peak = max(peak, active)
         return peak
 
+    # -- fidelity statistics ---------------------------------------------------------
+
+    def delivered_fidelities(self) -> List[float]:
+        """Per-channel delivered fidelities, in completion order (may be empty)."""
+        return [
+            c.delivered_fidelity for c in self.channels if c.delivered_fidelity is not None
+        ]
+
+    def fidelity_summary(self) -> Optional[Dict[str, object]]:
+        """Flat JSON-safe fidelity summary, or None when fidelity was not tracked.
+
+        ``below_target`` counts channels whose delivered fidelity misses the
+        run's target — the quantity that decides whether the interconnect is
+        usable at all, regardless of its bandwidth.
+        """
+        values = self.delivered_fidelities()
+        if not values:
+            return None
+        target = self.target_fidelity
+        summary: Dict[str, object] = {
+            "channels": len(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+        if target is not None:
+            summary["target"] = target
+            summary["below_target"] = sum(1 for v in values if v < target)
+        return summary
+
     # -- operation statistics -------------------------------------------------------
 
     def average_operation_duration_us(self) -> float:
@@ -139,6 +176,15 @@ class SimulationResult:
             f"  pairs transited     : {self.total_pairs_transited():.3g}",
             f"  peak concurrency    : {self.max_concurrent_channels()} channels",
         ]
+        fidelity = self.fidelity_summary()
+        if fidelity is not None:
+            line = (
+                f"  delivered fidelity  : mean {fidelity['mean']:.6f}, "
+                f"min {fidelity['min']:.6f} over {fidelity['channels']} channels"
+            )
+            if "target" in fidelity:
+                line += f" (target {fidelity['target']:.6f}, {fidelity['below_target']} below)"
+            lines.append(line)
         if self.resource_utilisation:
             lines.append("  resource utilisation:")
             for name, value in sorted(self.resource_utilisation.items()):

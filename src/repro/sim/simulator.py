@@ -197,6 +197,11 @@ class CommunicationSimulator:
             channels=transport.records,
             resource_utilisation=transport.utilisation_report(makespan),
             backend=transport.name,
+            target_fidelity=(
+                self.machine.params.threshold_fidelity
+                if self.machine.track_fidelity
+                else None
+            ),
             metadata={
                 "classical_messages": control.messages_issued,
                 "logical_gate_us": self.machine.logical_gate_us,

@@ -23,15 +23,16 @@ the verify harness — select a backend by name.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Tuple, Type
+from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Optional, Tuple, Type
 
 from ..errors import ConfigurationError, SimulationError
-from ..trace.records import ChannelClosed, ChannelOpened
+from ..trace.records import ChannelClosed, ChannelFidelity, ChannelOpened
 from .results import ChannelRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .control import PlannedCommunication
     from .engine import SimulationEngine
+    from .fidelity import ChannelFidelityModel
     from .machine import QuantumMachine
 
 
@@ -58,6 +59,9 @@ class TransportBackend(ABC):
         self.machine = machine
         self._records: List[ChannelRecord] = []
         self._next_flow_id = 0
+        #: Shared per-channel fidelity model; None unless the machine carries
+        #: a noise model, so untracked runs pay nothing on any path below.
+        self.fidelity: Optional["ChannelFidelityModel"] = machine.fidelity_model()
 
     # -- contract -----------------------------------------------------------------
 
@@ -77,9 +81,17 @@ class TransportBackend(ABC):
     # -- shared channel bookkeeping ---------------------------------------------------
 
     def _open_channel(self, planned: "PlannedCommunication") -> int:
-        """Allocate a flow id and emit the :class:`ChannelOpened` record."""
+        """Allocate a flow id and emit the :class:`ChannelOpened` record.
+
+        On noise-tracked runs this is also where the channel's purification
+        level is selected: the fidelity profile for the channel's hop count is
+        resolved (and memoized) here, at channel-open time, so both backends
+        commit to the same threshold-driven level before servicing begins.
+        """
         if planned.plan is None:
             raise SimulationError("local communications do not need the transport backend")
+        if self.fidelity is not None:
+            self.fidelity.profile(planned.hops)
         flow_id = self._next_flow_id
         self._next_flow_id += 1
         trace = self.engine.trace
@@ -104,9 +116,26 @@ class TransportBackend(ABC):
         *,
         start_us: float,
         pairs_transited: float,
+        delivered_fidelity: Optional[float] = None,
+        purification_level: Optional[int] = None,
     ) -> None:
-        """Log the channel record and emit :class:`ChannelClosed`."""
+        """Log the channel record and emit :class:`ChannelClosed`.
+
+        On noise-tracked runs the record additionally carries the delivered
+        fidelity and a :class:`~repro.trace.ChannelFidelity` record follows
+        the close.  A backend that measures fidelity itself (the detailed
+        model's per-pair purification outcomes) passes ``delivered_fidelity``
+        and ``purification_level``; backends that do not (the fluid model)
+        inherit the analytical profile values.
+        """
         request = planned.request
+        profile = None
+        if self.fidelity is not None:
+            profile = self.fidelity.profile(planned.hops)
+            if delivered_fidelity is None:
+                delivered_fidelity = profile.delivered_fidelity
+            if purification_level is None:
+                purification_level = profile.purification_level
         self._records.append(
             ChannelRecord(
                 source=request.source.as_tuple(),
@@ -117,6 +146,8 @@ class TransportBackend(ABC):
                 pairs_transited=pairs_transited,
                 purpose=request.purpose,
                 qubit=request.qubit,
+                delivered_fidelity=delivered_fidelity,
+                purification_level=purification_level,
             )
         )
         trace = self.engine.trace
@@ -131,6 +162,19 @@ class TransportBackend(ABC):
                     pairs_transited=pairs_transited,
                 )
             )
+            if profile is not None:
+                trace.emit(
+                    ChannelFidelity(
+                        t_us=self.engine.now,
+                        flow_id=flow_id,
+                        hops=planned.hops,
+                        purification_level=purification_level,
+                        arrival_fidelity=profile.arrival_fidelity,
+                        delivered_fidelity=delivered_fidelity,
+                        target_fidelity=profile.target_fidelity,
+                        meets_target=delivered_fidelity >= profile.target_fidelity,
+                    )
+                )
 
 
 # -- registry ---------------------------------------------------------------------------

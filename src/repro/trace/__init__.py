@@ -13,6 +13,7 @@ from .records import (
     CANONICAL_KINDS,
     RECORD_TYPES,
     ChannelClosed,
+    ChannelFidelity,
     ChannelOpened,
     EprPairGenerated,
     EventDispatched,
@@ -40,6 +41,7 @@ __all__ = [
     "CANONICAL_KINDS",
     "RECORD_TYPES",
     "ChannelClosed",
+    "ChannelFidelity",
     "ChannelOpened",
     "EprPairGenerated",
     "EventDispatched",

@@ -132,6 +132,28 @@ class ChannelClosed(TraceRecord):
 
 
 @dataclass(frozen=True)
+class ChannelFidelity(TraceRecord):
+    """Delivered EPR fidelity of one closed channel (noise-tracked runs only).
+
+    Emitted immediately after :class:`ChannelClosed` when the machine carries
+    a noise model: the purification level selected at channel-open time
+    against the fault-tolerance threshold, the endpoint arrival fidelity and
+    the fidelity actually delivered — analytical Werner algebra on the fluid
+    backend, per-pair purification outcomes on the detailed backend.
+    """
+
+    kind: ClassVar[str] = "fidelity"
+
+    flow_id: int
+    hops: int
+    purification_level: int
+    arrival_fidelity: float
+    delivered_fidelity: float
+    target_fidelity: float
+    meets_target: bool
+
+
+@dataclass(frozen=True)
 class FlowRateChanged(TraceRecord):
     """A max-min reallocation changed one flow's service rate."""
 
@@ -184,6 +206,7 @@ RECORD_TYPES: Dict[str, Type[TraceRecord]] = {
         OperationRetired,
         ChannelOpened,
         ChannelClosed,
+        ChannelFidelity,
         FlowRateChanged,
         EprPairGenerated,
         PurificationMilestone,
@@ -192,6 +215,9 @@ RECORD_TYPES: Dict[str, Type[TraceRecord]] = {
 }
 
 #: The compact allocator-invariant stream pinned by golden fixtures.
+#: ``fidelity`` records only exist on noise-tracked runs, so fixtures of
+#: scenarios without a ``noise`` section are byte-identical to before the
+#: fidelity pipeline existed.
 CANONICAL_KINDS = frozenset(
     {
         RunStarted.kind,
@@ -200,6 +226,7 @@ CANONICAL_KINDS = frozenset(
         OperationRetired.kind,
         ChannelOpened.kind,
         ChannelClosed.kind,
+        ChannelFidelity.kind,
     }
 )
 

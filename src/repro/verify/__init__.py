@@ -25,12 +25,16 @@ _EXPORTS = {
     "BACKEND_ORDER_TOLERANCE": "harness",
     "DIFFERENTIAL_KINDS": "harness",
     "Divergence": "harness",
+    "FIDELITY_ABS_TOL": "harness",
+    "PARITY_NOISE": "harness",
     "ScenarioVerdict": "harness",
     "TracedRun": "harness",
     "compare_backend_runs": "harness",
+    "compare_fidelity_runs": "harness",
     "compare_runs": "harness",
     "traced_run": "harness",
     "verify_backends": "harness",
+    "verify_fidelity": "harness",
     "verify_scenario": "harness",
 }
 

@@ -16,6 +16,11 @@ Three subcommands over the same scenario selection (catalog names, a
 ``diff``
     Replay each scenario and compare its canonical trace line-by-line
     against the checked-in fixture.  Exits non-zero on any mismatch.
+``fidelity``
+    Replay each scenario under the fluid and detailed backends with fidelity
+    accounting on (scenarios without a ``noise`` section get the documented
+    parity noise applied) and hold the delivered per-channel fidelities to
+    the documented tolerance.  Exits non-zero on any divergence.
 """
 
 from __future__ import annotations
@@ -98,6 +103,20 @@ def add_verify_parser(subparsers: argparse._SubParsersAction) -> None:
         help="fixture directory (default: tests/golden)",
     )
 
+    fidelity = verify_subs.add_parser(
+        "fidelity",
+        help="fluid-vs-detailed delivered-fidelity parity check (noise applied)",
+    )
+    _common(fidelity)
+    fidelity.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="absolute delivered-fidelity tolerance (default: the documented "
+        "FIDELITY_ABS_TOL)",
+    )
+
 
 def _selected_specs(args: argparse.Namespace) -> List["ScenarioSpec"]:
     from ..scenarios import select_scenarios
@@ -116,6 +135,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return _cmd_record(args)
     if args.verify_command == "diff":
         return _cmd_diff(args)
+    if args.verify_command == "fidelity":
+        return _cmd_fidelity(args)
     raise AssertionError(  # pragma: no cover
         f"unhandled verify command {args.verify_command!r}"
     )
@@ -158,6 +179,28 @@ def _cmd_record(args: argparse.Namespace) -> int:
         path = record_golden(spec, directory=args.golden_dir)
         print(f"recorded {spec.name} -> {path}")
     return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from .harness import FIDELITY_ABS_TOL, verify_fidelity
+
+    tolerance = FIDELITY_ABS_TOL if args.tolerance is None else args.tolerance
+    specs = _selected_specs(args)
+    width = max(len(spec.name) for spec in specs)
+    failures = 0
+    for spec in specs:
+        divergences = verify_fidelity(spec, tolerance=tolerance)
+        status = "ok" if not divergences else f"DIVERGED ({len(divergences)})"
+        print(f"{spec.name:{width}s}  fluid vs detailed delivered fidelity  {status}")
+        for divergence in divergences:
+            print(f"  {divergence}")
+        failures += bool(divergences)
+    total = len(specs)
+    print(
+        f"fidelity parity on {total} scenario{'s' if total != 1 else ''}: "
+        f"{total - failures} agreed, {failures} diverged (tolerance {tolerance:g})"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:

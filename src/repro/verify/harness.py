@@ -25,7 +25,7 @@ agreement into a harness:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ScenarioError
 from ..scenarios.run import build_machine, build_stream
@@ -61,6 +61,22 @@ BACKEND_MAKESPAN_RATIO = 1.5
 #: orders.  Queueing noise legitimately swaps near-simultaneous completions;
 #: wholesale reordering means the backends disagree about the dynamics.
 BACKEND_ORDER_TOLERANCE = 0.25
+
+#: Documented agreement between the backends' delivered channel fidelities.
+#: The fluid backend evaluates the purification recurrence analytically once
+#: per distance; the detailed backend replays it per EPR pair through the
+#: event-driven queue purifiers and averages the delivered pairs.  The
+#: physics is the same exact Bell-diagonal algebra, so the only divergence
+#: is float summation order in the per-pair average — parts in 1e15; 1e-6
+#: leaves five orders of magnitude of headroom while still catching any
+#: model change on either side.
+FIDELITY_ABS_TOL = 1e-6
+
+#: Noise section applied by :func:`verify_fidelity` to scenarios that do not
+#: carry one: a slightly degraded EPR source with an explicit target, which
+#: keeps every catalog scenario inside the purifying regime (purification
+#: level >= 1) where both backends exercise their full fidelity paths.
+PARITY_NOISE = {"base_fidelity": 0.999, "target_fidelity": 0.9999}
 
 
 def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
@@ -380,6 +396,128 @@ def verify_backends(
                 traced_run(spec, backend=other),
                 makespan_ratio=makespan_ratio,
                 order_tolerance=order_tolerance,
+            )
+        )
+    return divergences
+
+
+# -- fidelity parity ----------------------------------------------------------------
+
+
+def _fidelity_by_hops(run: TracedRun) -> Dict[int, List[float]]:
+    """Delivered fidelities grouped by hop count (order-independent key).
+
+    Flow ids are allocated in service order, which legitimately differs
+    between backends, but a channel's delivered fidelity is a function of its
+    distance alone — so hop count is the stable join key for parity.
+    """
+    grouped: Dict[int, List[float]] = {}
+    for channel in run.result.channels:
+        if channel.delivered_fidelity is not None:
+            grouped.setdefault(channel.hops, []).append(channel.delivered_fidelity)
+    return grouped
+
+
+def compare_fidelity_runs(
+    a: TracedRun,
+    b: TracedRun,
+    *,
+    tolerance: float = FIDELITY_ABS_TOL,
+) -> List[Divergence]:
+    """Diff the delivered-fidelity accounting of two runs of one scenario.
+
+    Every channel must carry a delivered fidelity on both runs, the two runs
+    must service the same channel population per hop count, and the
+    per-hop-count fidelity extremes must agree within ``tolerance``
+    (analytical Werner algebra vs per-pair purification outcomes).
+    """
+    name = a.spec.name
+    divergences: List[Divergence] = []
+    for run in (a, b):
+        untracked = sum(
+            1 for channel in run.result.channels if channel.delivered_fidelity is None
+        )
+        if untracked:
+            divergences.append(
+                Divergence(
+                    name,
+                    "fidelity_missing",
+                    f"{untracked}/{len(run.result.channels)} channels on "
+                    f"{run.backend} carry no delivered fidelity",
+                )
+            )
+    if divergences:
+        return divergences
+    by_hops_a, by_hops_b = _fidelity_by_hops(a), _fidelity_by_hops(b)
+    if set(by_hops_a) != set(by_hops_b):
+        divergences.append(
+            Divergence(
+                name,
+                "fidelity_channels",
+                f"hop populations differ: {sorted(by_hops_a)} ({a.backend}) "
+                f"vs {sorted(by_hops_b)} ({b.backend})",
+            )
+        )
+        return divergences
+    for hops in sorted(by_hops_a):
+        values_a, values_b = by_hops_a[hops], by_hops_b[hops]
+        if len(values_a) != len(values_b):
+            divergences.append(
+                Divergence(
+                    name,
+                    "fidelity_channels",
+                    f"{len(values_a)} vs {len(values_b)} channels at {hops} hops",
+                )
+            )
+            continue
+        for aspect, reduce in (("min", min), ("max", max)):
+            x, y = reduce(values_a), reduce(values_b)
+            if abs(x - y) > tolerance:
+                divergences.append(
+                    Divergence(
+                        name,
+                        "fidelity_value",
+                        f"{aspect} delivered fidelity at {hops} hops: "
+                        f"{a.backend}={x!r} vs {b.backend}={y!r} "
+                        f"(|diff| {abs(x - y):.3e} > {tolerance:g})",
+                    )
+                )
+    return divergences
+
+
+def verify_fidelity(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    *,
+    backends: Sequence[str] = BACKEND_NAMES,
+    tolerance: float = FIDELITY_ABS_TOL,
+    noise: Optional[Mapping[str, Any]] = None,
+) -> List[Divergence]:
+    """Fluid-vs-detailed fidelity parity for one scenario.
+
+    The scenario is replayed under every backend with fidelity accounting on
+    — scenarios without a ``noise`` section get :data:`PARITY_NOISE` (or the
+    ``noise`` argument) applied — and the delivered per-channel fidelities
+    must agree within ``tolerance`` (see :func:`compare_fidelity_runs`).
+    """
+    spec = _as_spec(spec)
+    if noise is not None or spec.noise is None:
+        spec = spec.with_noise(dict(noise) if noise is not None else dict(PARITY_NOISE))
+    backends = tuple(backends)
+    if len(backends) < 2:
+        raise ScenarioError(
+            f"the fidelity parity check needs at least two backends, got {list(backends)}"
+        )
+    unknown = sorted(set(backends) - set(BACKEND_NAMES))
+    if unknown:
+        raise ScenarioError(
+            f"unknown backends {unknown}; available: {sorted(BACKEND_NAMES)}"
+        )
+    baseline = traced_run(spec, backend=backends[0])
+    divergences: List[Divergence] = []
+    for other in backends[1:]:
+        divergences.extend(
+            compare_fidelity_runs(
+                baseline, traced_run(spec, backend=other), tolerance=tolerance
             )
         )
     return divergences

@@ -1,0 +1,58 @@
+"""The fidelity-vs-bandwidth analysis module."""
+
+import pytest
+
+from repro.analysis.fidelity_bandwidth import (
+    fidelity_bandwidth_tradeoff,
+    scenario_fidelity_table,
+)
+from repro.errors import ConfigurationError
+from repro.scenarios import get_scenario, run_scenario
+
+
+class TestTradeoffFigure:
+    def test_shape_and_monotonicity(self):
+        figure = fidelity_bandwidth_tradeoff(hops=(1, 4), max_level=4)
+        assert figure.name == "fidelity_bandwidth"
+        assert len(figure.series) == 2
+        for series in figure.series:
+            assert len(series) == 5
+            # Bandwidth cost starts at one raw pair and at least doubles per level.
+            assert series.x[0] == 1.0
+            assert all(b >= 2.0 * a for a, b in zip(series.x, series.x[1:]))
+            # Error never increases with more purification under default noise.
+            assert series.is_monotonic_decreasing()
+
+    def test_longer_channels_arrive_worse(self):
+        figure = fidelity_bandwidth_tradeoff(hops=(1, 8), max_level=1)
+        short, long = figure.series
+        assert long.y[0] > short.y[0]
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fidelity_bandwidth_tradeoff(max_level=-1)
+        with pytest.raises(ConfigurationError):
+            fidelity_bandwidth_tradeoff(hops=())
+
+    def test_registered_as_experiment(self):
+        from repro.analysis.experiments import get_experiment
+
+        experiment = get_experiment("fidelity_bandwidth")
+        assert not experiment.heavy
+        assert experiment.run().series
+
+
+class TestScenarioTable:
+    def test_only_noise_tracked_records_enter(self):
+        records = [run_scenario(get_scenario("smoke")), run_scenario(get_scenario("smoke_noisy"))]
+        table = scenario_fidelity_table(records)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row[0] == "smoke_noisy"
+        assert row[6] == 0  # below target
+        assert "scenario" in table.columns
+
+    def test_empty_input_renders(self):
+        table = scenario_fidelity_table([])
+        assert table.rows == ()
+        assert table.render()

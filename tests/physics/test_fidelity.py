@@ -30,6 +30,33 @@ class TestValidation:
         with pytest.raises(FidelityError):
             validate_error(2.0)
 
+    def test_non_finite_inputs_rejected(self):
+        # Regression: NaN compares False against both bounds, so only an
+        # explicit finiteness check classifies it; infinities must fail with
+        # the same clear message rather than a generic range error.
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(FidelityError, match="finite"):
+                validate_fidelity(bad)
+            with pytest.raises(FidelityError, match="finite"):
+                validate_error(bad)
+
+    def test_werner_parameter_inverse_rejects_non_finite(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(FidelityError, match="finite"):
+                fidelity_from_werner_parameter(bad)
+
+    def test_clamp_rejects_nan_but_clamps_infinities(self):
+        with pytest.raises(FidelityError, match="NaN"):
+            clamp_fidelity(float("nan"))
+        assert clamp_fidelity(float("inf")) == 1.0
+        assert clamp_fidelity(float("-inf")) == 0.0
+
+    def test_bell_state_rejects_nan_coefficients(self):
+        from repro.physics.states import BellDiagonalState
+
+        with pytest.raises(FidelityError, match="finite"):
+            BellDiagonalState(float("nan"), 0.0, 0.0, 0.0)
+
     def test_conversions_are_inverse(self):
         assert fidelity_to_error(0.999) == pytest.approx(0.001)
         assert error_to_fidelity(0.001) == pytest.approx(0.999)

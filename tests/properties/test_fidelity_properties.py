@@ -1,0 +1,97 @@
+"""Property tests for the fidelity algebra the accounting pipeline rests on.
+
+Three invariant families from the issue checklist:
+
+* purification round monotonicity — above the 1/2-fidelity threshold a
+  noiseless recurrence round never lowers a Werner pair's fidelity;
+* Werner fidelity <-> error / Werner-parameter round-trips are the identity;
+* ``expected_input_pairs`` is always >= 1 (in fact >= 2 per round), for both
+  protocols, noisy or not, and composes to >= 1 over whole trees.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.fidelity import (
+    error_to_fidelity,
+    fidelity_from_werner_parameter,
+    fidelity_to_error,
+    werner_parameter,
+)
+from repro.physics.parameters import IonTrapParameters
+from repro.physics.purification import get_protocol
+from repro.physics.purification_tree import expected_pairs_for_rounds
+from repro.physics.states import BellDiagonalState
+
+params = IonTrapParameters.default()
+
+#: Comfortably above the Werner purification threshold of 1/2, below exactly 1.
+purifiable = st.floats(min_value=0.55, max_value=0.99999, allow_nan=False)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+protocol_names = st.sampled_from(["dejmps", "bbpssw"])
+
+
+class TestRoundMonotonicity:
+    @given(fidelity=purifiable, name=protocol_names)
+    @settings(max_examples=80)
+    def test_noiseless_round_never_lowers_fidelity_above_threshold(self, fidelity, name):
+        protocol = get_protocol(name, params, noisy=False)
+        state = BellDiagonalState.werner(fidelity)
+        outcome = protocol.purify_identical(state)
+        assert outcome.fidelity >= fidelity - 1e-12
+
+    @given(fidelity=purifiable, name=protocol_names, rounds=st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_noiseless_iteration_is_monotone_over_rounds(self, fidelity, name, rounds):
+        protocol = get_protocol(name, params, noisy=False)
+        outcomes = protocol.iterate(BellDiagonalState.werner(fidelity), rounds)
+        fidelities = [fidelity] + [outcome.fidelity for outcome in outcomes]
+        assert all(b >= a - 1e-12 for a, b in zip(fidelities, fidelities[1:]))
+
+
+class TestWernerRoundTrips:
+    @given(fidelity=unit)
+    @settings(max_examples=120)
+    def test_fidelity_error_round_trip(self, fidelity):
+        assert math.isclose(
+            error_to_fidelity(fidelity_to_error(fidelity)), fidelity, abs_tol=1e-12
+        )
+
+    @given(error=unit)
+    @settings(max_examples=120)
+    def test_error_fidelity_round_trip(self, error):
+        assert math.isclose(
+            fidelity_to_error(error_to_fidelity(error)), error, abs_tol=1e-12
+        )
+
+    @given(fidelity=unit)
+    @settings(max_examples=120)
+    def test_werner_parameter_round_trip(self, fidelity):
+        assert math.isclose(
+            fidelity_from_werner_parameter(werner_parameter(fidelity)),
+            fidelity,
+            abs_tol=1e-12,
+        )
+
+
+class TestExpectedInputPairs:
+    @given(fidelity=purifiable, name=protocol_names, noisy=st.booleans())
+    @settings(max_examples=80)
+    def test_single_round_consumes_at_least_one_pair(self, fidelity, name, noisy):
+        protocol = get_protocol(name, params, noisy=noisy)
+        outcome = protocol.purify_identical(BellDiagonalState.werner(fidelity))
+        assert outcome.expected_input_pairs >= 1.0
+        # Two pairs enter every attempt, so the bound is actually 2.
+        assert outcome.expected_input_pairs >= 2.0
+
+    @given(fidelity=purifiable, name=protocol_names, rounds=st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_tree_cost_is_at_least_one_and_grows_with_depth(self, fidelity, name, rounds):
+        protocol = get_protocol(name, params)
+        outcomes = protocol.iterate(BellDiagonalState.werner(fidelity), rounds)
+        costs = [expected_pairs_for_rounds(outcomes[:k]) for k in range(rounds + 1)]
+        assert costs[0] == 1.0
+        assert all(cost >= 1.0 for cost in costs)
+        assert all(b >= 2.0 * a for a, b in zip(costs, costs[1:]))

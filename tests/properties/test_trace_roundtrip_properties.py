@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 
 from repro.trace import (
     ChannelClosed,
+    ChannelFidelity,
     ChannelOpened,
     EprPairGenerated,
     EventDispatched,
@@ -57,6 +58,14 @@ record_strategies = st.one_of(
     st.builds(ChannelClosed, t_us=times, flow_id=small_ints, source=coords, destination=coords,
               hops=small_ints, pairs_transited=rates),
     st.builds(FlowRateChanged, t_us=times, flow_id=small_ints, rate=rates),
+    st.builds(
+        ChannelFidelity,
+        t_us=times, flow_id=small_ints, hops=small_ints, purification_level=small_ints,
+        arrival_fidelity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        delivered_fidelity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        target_fidelity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        meets_target=st.booleans(),
+    ),
     st.builds(EprPairGenerated, t_us=times, link=names, produced=small_ints),
     st.builds(PurificationMilestone, t_us=times, purifier=names, good_pairs=small_ints,
               rounds_executed=small_ints),

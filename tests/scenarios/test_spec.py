@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ScenarioError
-from repro.scenarios import ScenarioSpec, apply_overrides, deep_merge
+from repro.scenarios import NoiseSpec, ScenarioSpec, apply_overrides, deep_merge
 from repro.scenarios.spec import PhysicsSpec, RuntimeSpec, TopologySpec, WorkloadSpec
 
 
@@ -135,6 +135,74 @@ class TestValidation:
         data["physics"] = {"generator_bandwidth_scale": 0}
         with pytest.raises(ScenarioError, match="generator_bandwidth_scale"):
             ScenarioSpec.from_dict(data)
+
+
+class TestNoiseSpec:
+    def test_absent_noise_means_tracking_off(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        assert spec.noise is None
+        assert "noise" not in spec.to_dict()
+
+    def test_explicit_null_noise_means_absent(self):
+        spec = ScenarioSpec.from_dict({**minimal(), "noise": None})
+        assert spec.noise is None
+
+    def test_empty_noise_mapping_enables_tracking(self):
+        spec = ScenarioSpec.from_dict({**minimal(), "noise": {}})
+        assert spec.noise == NoiseSpec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_noise_fields_round_trip(self):
+        data = {**minimal(), "noise": {"base_fidelity": 0.99, "target_fidelity": 0.999}}
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.noise.base_fidelity == 0.99
+        assert spec.noise.target_fidelity == 0.999
+        assert spec.noise.gate_error is None
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_noise_key_rejected(self):
+        with pytest.raises(ScenarioError, match="noise has unknown keys"):
+            ScenarioSpec.from_dict({**minimal(), "noise": {"temperature": 4}})
+
+    def test_out_of_range_noise_rejected(self):
+        for key, bad in (
+            ("base_fidelity", 0.0),
+            ("base_fidelity", 1.5),
+            ("gate_error", 1.0),
+            ("measurement_error", -0.1),
+            ("target_fidelity", 1.0),
+            ("target_fidelity", 0.0),
+        ):
+            with pytest.raises(ScenarioError, match=f"noise.{key}"):
+                ScenarioSpec.from_dict({**minimal(), "noise": {key: bad}})
+
+    def test_non_finite_noise_rejected(self):
+        # Regression: NaN slips through bare range checks (all comparisons
+        # are False), so the codec must reject non-finite floats explicitly.
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ScenarioError, match="must be finite"):
+                ScenarioSpec.from_dict({**minimal(), "noise": {"gate_error": bad}})
+
+    def test_non_finite_physics_floats_rejected(self):
+        data = minimal()
+        data["physics"] = {"logical_gate_us": float("nan")}
+        with pytest.raises(ScenarioError, match="must be finite"):
+            ScenarioSpec.from_dict(data)
+
+    def test_with_noise_round_trip(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        noisy = spec.with_noise({"base_fidelity": 0.995})
+        assert noisy.noise.base_fidelity == 0.995
+        assert noisy.spec_hash != spec.spec_hash
+        assert noisy.with_noise(None) == spec
+        with pytest.raises(ScenarioError, match="noise"):
+            spec.with_noise({"bogus": 1})
+
+    def test_noise_sweepable_as_dotted_override(self):
+        data = apply_overrides(minimal(), {"noise.base_fidelity": 0.99})
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.noise is not None
+        assert spec.noise.base_fidelity == 0.99
 
 
 class TestSpecHash:

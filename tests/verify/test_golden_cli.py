@@ -124,6 +124,31 @@ class TestCheckedInGoldens:
             diff = diff_golden(get_scenario(name))
             assert diff.ok, diff.summary()
 
+    def test_noisy_fixture_matches_and_carries_fidelity_records(self):
+        spec = get_scenario("smoke_noisy")
+        diff = diff_golden(spec)
+        assert diff.ok, diff.summary()
+        with open(diff.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert any('"kind":"fidelity"' in line for line in lines)
+        # Its noise-free sibling stays fidelity-free: the new record kind
+        # must not leak into pre-existing fixtures.
+        with open(golden_path("smoke"), "r", encoding="utf-8") as handle:
+            assert '"kind":"fidelity"' not in handle.read()
+
+    def test_record_then_diff_round_trips_on_fresh_checkout(self, tmp_path):
+        # Satellite check: `verify record` + `verify diff` must round-trip
+        # cleanly from nothing (a fresh checkout recording into an empty
+        # directory), fidelity records included.
+        directory = str(tmp_path)
+        for name in ("smoke", "smoke_noisy"):
+            spec = get_scenario(name)
+            assert diff_golden(spec, directory=directory).missing
+            record_golden(spec, directory=directory)
+            diff = diff_golden(spec, directory=directory)
+            assert diff.ok, diff.summary()
+            assert diff.golden_lines == diff.current_lines > 0
+
 
 class TestVerifyCli:
     def test_verify_run_reports_agreement(self, capsys):
