@@ -1,6 +1,17 @@
 """Entry point for ``python -m repro``."""
 
+import os
+import sys
+
 from .runtime.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe mid-output;
+        # redirect stdout to devnull so the interpreter's shutdown flush does
+        # not traceback, and report the truncated write in the exit status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 1
+    raise SystemExit(status)

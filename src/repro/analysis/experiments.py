@@ -12,12 +12,12 @@ from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
 from .fidelity_bandwidth import fidelity_bandwidth_tradeoff
-from .fig8 import figure8
-from .fig9 import figure9
 from .fig10 import figure10
 from .fig11 import figure11
 from .fig12 import figure12
 from .fig16 import figure16
+from .fig8 import figure8
+from .fig9 import figure9
 from .tables import derived_channel_table, table1, table2
 
 

@@ -15,8 +15,8 @@ from typing import Optional, Sequence
 from ..core.budget import EPRBudgetModel
 from ..core.placement import PurificationPlacement, standard_schemes
 from ..physics.parameters import IonTrapParameters
-from .series import FigureData, Series
 from .fig10 import DEFAULT_DISTANCES
+from .series import FigureData, Series
 
 
 def figure11(

@@ -88,7 +88,7 @@ class FigureData:
         """Compact text rendering: one row per x sample, one column per series."""
         lines = [f"{self.name}: {self.title}", f"  x = {self.x_label}; y = {self.y_label}"]
         if not self.series:
-            return "\n".join(lines + ["  (no series)"])
+            return "\n".join([*lines, "  (no series)"])
         xs = list(self.series[0].x)
         stride = max(len(xs) // max_points, 1)
         header = "  " + f"{self.x_label[:14]:>14s} | " + " | ".join(

@@ -40,7 +40,7 @@ from ..physics.purification_tree import expected_pairs_for_rounds
 from ..physics.states import BellDiagonalState
 from ..physics.teleportation import teleport_state
 from .distribution import ChainedTeleportationDistribution
-from .logical import LogicalQubitEncoding, STEANE_LEVEL_2
+from .logical import STEANE_LEVEL_2, LogicalQubitEncoding
 from .placement import PurificationPlacement, endpoint_only
 
 
@@ -194,10 +194,11 @@ class EPRBudgetModel:
         if not per_hop_costs:
             teleport_operations = endpoint_pairs * max(hops - 1, 0)
 
-        if math.isinf(endpoint_pairs):
-            total_pairs = float("inf")
-        else:
-            total_pairs = link_cost * (pairs_teleported + teleport_operations)
+        total_pairs = (
+            float("inf")
+            if math.isinf(endpoint_pairs)
+            else link_cost * (pairs_teleported + teleport_operations)
+        )
 
         latency = self._setup_latency(hops, endpoint_rounds)
 

@@ -25,7 +25,7 @@ from .distribution import (
     DistributionMethod,
     DistributionResult,
 )
-from .logical import LogicalQubitEncoding, STEANE_LEVEL_2
+from .logical import STEANE_LEVEL_2, LogicalQubitEncoding
 from .placement import PurificationPlacement, endpoint_only
 
 
@@ -158,10 +158,11 @@ class QuantumChannel:
         # The data qubit is teleported once, using a pair purified up to the
         # fault-tolerance threshold (or the arrival fidelity if endpoint
         # purification is disabled for an ablation).
-        if self.placement.endpoint_to_threshold and budget.feasible:
-            epr_fidelity = max(self.params.threshold_fidelity, budget.arrival_fidelity)
-        else:
-            epr_fidelity = budget.arrival_fidelity
+        epr_fidelity = (
+            max(self.params.threshold_fidelity, budget.arrival_fidelity)
+            if self.placement.endpoint_to_threshold and budget.feasible
+            else budget.arrival_fidelity
+        )
         data_out = teleportation_fidelity(data_fidelity_in, epr_fidelity, self.params)
         data_latency = teleportation_time(self.distance_cells, self.params)
         return ChannelReport(

@@ -18,7 +18,7 @@ from ..network.routing import DimensionOrder, Path, dimension_order_route
 from ..network.topology import MeshTopology
 from ..physics.parameters import IonTrapParameters
 from .budget import ChannelBudget, EPRBudgetModel
-from .logical import LogicalQubitEncoding, STEANE_LEVEL_2
+from .logical import STEANE_LEVEL_2, LogicalQubitEncoding
 from .placement import PurificationPlacement, endpoint_only
 
 

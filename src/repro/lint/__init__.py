@@ -1,0 +1,58 @@
+"""repro.lint — determinism- and contract-checking static analysis.
+
+A stdlib-``ast`` lint pass encoding the repository's cross-cutting contracts
+as named, selectable rules:
+
+=====  ==============================================================
+DET    no ambient nondeterminism / set-ordered loops in the sim layers
+TRC    trace records frozen, JSONL-safe, registered; typed emit sites
+SPEC   every scenario-spec field validated and spec-hash covered
+FLT    toleranced float comparisons and non-finite rejection
+API    the sim core never imports the layers that host it
+LNT    the suppression syntax polices itself
+=====  ==============================================================
+
+Run it with ``python -m repro lint`` (see :mod:`repro.lint.cli`); suppress a
+deliberate exception inline with ``# lint-ok: RULE -- justification``.
+"""
+
+from .base import (
+    Checker,
+    LintContext,
+    Project,
+    all_checkers,
+    all_rules,
+    module_name_for,
+    register_checker,
+)
+from .findings import (
+    LINT_SCHEMA_VERSION,
+    Finding,
+    Rule,
+    findings_from_payload,
+    findings_payload,
+)
+from .runner import LintReport, collect_files, lint_file, run_lint
+from .suppress import Suppression, apply_suppressions, parse_suppressions
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "Checker",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Project",
+    "Rule",
+    "Suppression",
+    "all_checkers",
+    "all_rules",
+    "apply_suppressions",
+    "collect_files",
+    "findings_from_payload",
+    "findings_payload",
+    "lint_file",
+    "module_name_for",
+    "parse_suppressions",
+    "register_checker",
+    "run_lint",
+]

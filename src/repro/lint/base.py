@@ -1,0 +1,259 @@
+"""Checker framework: contexts, the checker ABC and the rule registry.
+
+A checker is a class with a tuple of :class:`~repro.lint.findings.Rule`
+definitions and a :meth:`Checker.check` method that walks one module's
+``ast`` tree and yields findings.  Checkers register through
+:func:`register_checker`, which is what makes their rules selectable from the
+CLI (``--select``/``--ignore``) and documentable (``--list-rules``).
+
+Checkers are *scoped*: each declares which dotted modules it applies to
+(``applies_to``), so e.g. the determinism rules only fire inside the
+simulation packages, and the float-discipline rules only inside the physics
+and verification layers.  Scope is derived from the file's dotted module
+path, which the runner computes from the path's ``repro`` package root — and
+which tests override directly to lint fixture snippets as if they lived
+anywhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from ..errors import ConfigurationError
+from .findings import Finding, Rule
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module for a source path, anchored at its ``repro`` root.
+
+    ``src/repro/sim/flow.py`` -> ``repro.sim.flow``; paths outside a
+    ``repro`` package tree resolve to ``None`` (package-scoped checkers then
+    skip the file).
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = parts[anchor:]
+    leaf = dotted[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[: -len(".py")]
+    dotted = dotted[:-1] + ([] if leaf == "__init__" else [leaf])
+    return ".".join(dotted)
+
+
+@dataclass
+class LintContext:
+    """Everything a checker needs to analyse one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Dotted module path (``repro.sim.flow``); ``None`` outside the package.
+    module: Optional[str]
+    #: Cross-module facts shared across one run (see :class:`Project`).
+    project: "Project" = field(default_factory=lambda: Project())
+
+    @classmethod
+    def for_source(
+        cls,
+        source: str,
+        *,
+        path: str = "<string>",
+        module: Optional[str] = None,
+        project: Optional["Project"] = None,
+    ) -> "LintContext":
+        """Parse ``source`` into a context (module name taken literally)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise ConfigurationError(f"cannot parse {path}: {exc}") from exc
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module=module if module is not None else module_name_for(path),
+            project=project if project is not None else Project(),
+        )
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this module lives under any of the dotted ``packages``."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+
+class Project:
+    """Cross-module facts a run computes once and every checker shares.
+
+    Today that is the set of registered trace-record class names, parsed from
+    ``repro/trace/records.py`` under the project root (or injected directly
+    by fixture tests).
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        *,
+        record_names: Optional[Sequence[str]] = None,
+        factory_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.root = root
+        self._parsed = False
+        self._record_names: Optional[Tuple[str, ...]] = (
+            tuple(record_names) if record_names is not None else None
+        )
+        self._factory_names: Optional[Tuple[str, ...]] = (
+            tuple(factory_names) if factory_names is not None else None
+        )
+
+    def _records_tree(self) -> Optional[ast.Module]:
+        if self.root is None:
+            return None
+        path = os.path.join(self.root, "src", "repro", "trace", "records.py")
+        if not os.path.isfile(path):
+            path = os.path.join(self.root, "repro", "trace", "records.py")
+        if not os.path.isfile(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return ast.parse(handle.read(), filename=path)
+
+    def _parse_records(self) -> None:
+        if self._parsed:
+            return
+        self._parsed = True
+        tree = self._records_tree()
+        if tree is None:
+            return
+        records = collect_record_class_names(tree)
+        if self._record_names is None:
+            self._record_names = tuple(records)
+        if self._factory_names is None:
+            self._factory_names = tuple(collect_record_factory_names(tree, records))
+
+    def trace_record_names(self) -> Optional[Tuple[str, ...]]:
+        """Names of the TraceRecord subclasses, or ``None`` when unknowable."""
+        if self._record_names is None:
+            self._parse_records()
+        return self._record_names
+
+    def trace_factory_names(self) -> Optional[Tuple[str, ...]]:
+        """Typed record factories exported by the records module, or ``None``.
+
+        A factory is a top-level function in ``repro.trace.records`` whose
+        return annotation names a record class — the blessed construction
+        path when a record needs assembly logic (e.g. ``machine_record``).
+        """
+        if self._factory_names is None:
+            self._parse_records()
+        return self._factory_names
+
+
+def collect_record_class_names(tree: ast.Module) -> List[str]:
+    """Class names (transitively) subclassing ``TraceRecord`` in a module."""
+    names: List[str] = ["TraceRecord"]
+    # Single fixpoint pass is enough in declaration order (Python requires a
+    # base class to be defined before its subclass anyway).
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            base_name = base.id if isinstance(base, ast.Name) else None
+            if base_name in names:
+                names.append(node.name)
+                break
+    return [name for name in names if name != "TraceRecord"]
+
+
+def collect_record_factory_names(
+    tree: ast.Module, record_names: Sequence[str]
+) -> List[str]:
+    """Top-level functions whose return annotation names a record class."""
+    factories: List[str] = []
+    known = set(record_names)
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef) or node.returns is None:
+            continue
+        returns = node.returns
+        if isinstance(returns, ast.Name) and returns.id in known:
+            factories.append(node.name)
+        elif isinstance(returns, ast.Constant) and returns.value in known:
+            factories.append(node.name)
+    return factories
+
+
+class Checker(ABC):
+    """One named group of rules over one module's AST."""
+
+    #: Short name shared by the checker's rule IDs (``DET``, ``TRC``, ...).
+    name: str = "abstract"
+    #: The rules this checker can raise; IDs must start with :attr:`name`.
+    rules: Tuple[Rule, ...] = ()
+
+    def applies_to(self, context: LintContext) -> bool:
+        """Whether this checker runs on ``context`` (default: everywhere)."""
+        return True
+
+    @abstractmethod
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        """Yield every violation this checker finds in the module."""
+
+    def finding(
+        self, context: LintContext, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        """A finding anchored at ``node``, validated against this checker's rules."""
+        if rule not in {r.id for r in self.rules}:
+            raise ConfigurationError(f"checker {self.name} has no rule {rule!r}")
+        return Finding(
+            rule=rule,
+            message=message,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: Registered checker classes, in registration order.
+_CHECKERS: List[Type[Checker]] = []
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: make ``cls`` part of every lint run."""
+    if not cls.rules:
+        raise ConfigurationError(f"checker {cls.__name__} declares no rules")
+    for rule in cls.rules:
+        if not rule.id.startswith(cls.name):
+            raise ConfigurationError(
+                f"rule {rule.id} does not match checker name {cls.name!r}"
+            )
+    existing = {rule.id for checker in _CHECKERS for rule in checker.rules}
+    clash = sorted(existing & {rule.id for rule in cls.rules})
+    if clash:
+        raise ConfigurationError(f"rule ids {clash} are already registered")
+    _CHECKERS.append(cls)
+    return cls
+
+
+def all_checkers() -> Tuple[Type[Checker], ...]:
+    """Every registered checker class (imports the built-in set on demand)."""
+    from . import checkers  # noqa: F401  (registration side effect)
+
+    return tuple(_CHECKERS)
+
+
+def all_rules() -> Dict[str, Rule]:
+    """``{rule_id: Rule}`` over every registered checker plus the framework."""
+    from .suppress import LNT_RULES
+
+    table: Dict[str, Rule] = {rule.id: rule for rule in LNT_RULES}
+    for checker in all_checkers():
+        for rule in checker.rules:
+            table[rule.id] = rule
+    return dict(sorted(table.items()))

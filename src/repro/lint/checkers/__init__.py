@@ -1,0 +1,10 @@
+"""Built-in checkers.
+
+Importing this package registers every built-in checker through the
+:func:`repro.lint.base.register_checker` side effect; the framework imports
+it lazily from :func:`repro.lint.base.all_checkers`.
+"""
+
+from . import api, det, flt, spec, trc
+
+__all__ = ["api", "det", "flt", "spec", "trc"]

@@ -1,0 +1,97 @@
+"""API — cross-layer import hygiene.
+
+The transport backends and the event engine (:mod:`repro.sim`) are the
+embeddable core: the streaming-service and sharded-sweep work on the roadmap
+will host them inside new runtimes.  That only stays possible while the sim
+layer never reaches *up* into the layers that host it:
+
+* **API001** — no module under ``repro.sim`` may import ``repro.runtime``,
+  ``repro.scenarios``, ``repro.analysis`` or ``repro.verify``.  Data the sim
+  needs from above arrives as constructor arguments (machine, parameters,
+  trace bus), never as an import.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..base import Checker, LintContext, register_checker
+from ..findings import Finding, Rule
+
+#: Layers the sim core must never import (they import *it*).
+FORBIDDEN_FOR_SIM = ("repro.runtime", "repro.scenarios", "repro.analysis", "repro.verify")
+
+
+def _absolute_target(
+    module: Optional[str],
+    node: ast.ImportFrom,
+    current_module: str,
+    *,
+    is_package: bool,
+) -> Optional[str]:
+    """Resolve a (possibly relative) import to its absolute dotted module."""
+    if node.level == 0:
+        return module
+    parts = current_module.split(".")
+    # Relative imports resolve against the containing package: the module
+    # itself when this is a package __init__, its parent otherwise; each
+    # level beyond the first strips one more component.
+    package = parts if is_package else parts[:-1]
+    base = package[: len(package) - (node.level - 1)]
+    if not base:
+        return module
+    if module:
+        return ".".join([*base, module])
+    return ".".join(base)
+
+
+@register_checker
+class LayeringChecker(Checker):
+    """The sim core never imports the layers that host it."""
+
+    name = "API"
+    rules = (
+        Rule(
+            "API001",
+            "repro.sim must not import repro.runtime/scenarios/analysis/verify",
+            "The backend layer stays embeddable in new runtimes only while "
+            "everything it needs arrives as constructor arguments; an upward "
+            "import couples the core to one host.",
+        ),
+    )
+
+    def applies_to(self, context: LintContext) -> bool:
+        return context.in_package("repro.sim")
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        assert context.module is not None  # applies_to guarantees the package
+        is_package = context.path.endswith("__init__.py")
+        for node in ast.walk(context.tree):
+            targets: Tuple[Tuple[Optional[str], ast.stmt], ...] = ()
+            if isinstance(node, ast.Import):
+                targets = tuple((alias.name, node) for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                targets = (
+                    (
+                        _absolute_target(
+                            node.module, node, context.module, is_package=is_package
+                        ),
+                        node,
+                    ),
+                )
+            for target, statement in targets:
+                if target is None:
+                    continue
+                if any(
+                    target == forbidden or target.startswith(forbidden + ".")
+                    for forbidden in FORBIDDEN_FOR_SIM
+                ):
+                    yield self.finding(
+                        context,
+                        statement,
+                        "API001",
+                        f"repro.sim module imports {target}; the sim core must "
+                        "stay embeddable — pass data in through constructors "
+                        "instead of importing the host layer",
+                    )

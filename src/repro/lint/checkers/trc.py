@@ -1,0 +1,206 @@
+"""TRC — the trace-record contract.
+
+The golden-trace regression suite and the JSONL round-trip guarantee rest on
+three structural properties of :mod:`repro.trace.records`:
+
+* **TRC001** — every record class is a *frozen* dataclass (records in flight
+  must be immutable: probes and the in-memory bus share them);
+* **TRC002** — every record field has a JSONL-serializable annotation
+  (int/float/str/bool, tuples and optionals thereof), so
+  ``record -> payload -> line -> record`` is exact;
+* **TRC003** — every record class is registered in ``RECORD_TYPES`` (an
+  unregistered kind serializes but can never be deserialized, which a golden
+  ``record`` run would only discover after writing a broken fixture);
+* **TRC004** — every ``.emit(...)`` site constructs a registered record class
+  directly, so the set of emittable kinds is statically known and the bus
+  never sees an untyped payload.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from ..base import Checker, LintContext, collect_record_class_names, register_checker
+from ..findings import Finding, Rule
+
+#: Annotation atoms that survive the JSONL round trip bitwise.
+_SAFE_ATOMS = ("int", "float", "str", "bool")
+#: Wrappers allowed around the atoms.
+_SAFE_WRAPPERS = ("Tuple", "tuple", "Optional", "ClassVar")
+
+_TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def _annotation_is_safe(annotation: str) -> bool:
+    """Every type token in ``annotation`` is a safe atom or wrapper."""
+    for token in _TOKEN.findall(annotation):
+        leaf = token.split(".")[-1]
+        if leaf in _SAFE_ATOMS or leaf in _SAFE_WRAPPERS:
+            continue
+        if leaf in ("None",):
+            continue
+        return False
+    return True
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            if name == "dataclass":
+                for keyword in decorator.keywords:
+                    if keyword.arg == "frozen":
+                        value = keyword.value
+                        return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _registered_names(tree: ast.Module) -> Optional[Set[str]]:
+    """Class names listed in the ``RECORD_TYPES`` registry literal, if found."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "RECORD_TYPES":
+                names: Set[str] = set()
+                for inner in ast.walk(value):
+                    if isinstance(inner, ast.Name) and inner.id[:1].isupper():
+                        names.add(inner.id)
+                return names
+    return None
+
+
+@register_checker
+class TraceContractChecker(Checker):
+    """Frozen, serializable, registered trace records; typed emission sites."""
+
+    name = "TRC"
+    rules = (
+        Rule(
+            "TRC001",
+            "trace record classes must be @dataclass(frozen=True)",
+            "Records are shared between the bus's in-memory list and every "
+            "probe; mutation after emission would corrupt golden traces.",
+        ),
+        Rule(
+            "TRC002",
+            "trace record fields must have JSONL-safe annotations "
+            "(int/float/str/bool, Tuple/Optional thereof)",
+            "The golden suite depends on an exact record -> JSONL -> record "
+            "round trip; unserializable field types break it at runtime.",
+        ),
+        Rule(
+            "TRC003",
+            "every trace record class must be registered in RECORD_TYPES",
+            "An unregistered kind serializes but never deserializes — the "
+            "broken fixture is only discovered on the next golden diff.",
+        ),
+        Rule(
+            "TRC004",
+            ".emit(...) must construct a registered trace record directly",
+            "Keeping emission sites statically typed is what lets the golden "
+            "fixtures enumerate every kind a simulation can produce.",
+        ),
+    )
+
+    def applies_to(self, context: LintContext) -> bool:
+        return context.in_package("repro")
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.module is not None and context.module.endswith("trace.records"):
+            yield from self._check_record_module(context)
+        if context.module == "repro.trace.bus":
+            return  # The bus *defines* emit; its body is not an emission site.
+        yield from self._check_emission_sites(context)
+
+    # -- record definitions -----------------------------------------------------------
+
+    def _check_record_module(self, context: LintContext) -> Iterator[Finding]:
+        record_names = set(collect_record_class_names(context.tree)) | {"TraceRecord"}
+        registered = _registered_names(context.tree)
+        for node in context.tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name not in record_names:
+                continue
+            if not _is_frozen_dataclass(node):
+                yield self.finding(
+                    context,
+                    node,
+                    "TRC001",
+                    f"trace record {node.name} is not @dataclass(frozen=True)",
+                )
+            if (
+                registered is not None
+                and node.name != "TraceRecord"
+                and node.name not in registered
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "TRC003",
+                    f"trace record {node.name} is missing from RECORD_TYPES; "
+                    "its payloads can never be deserialized",
+                )
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                annotation = ast.unparse(statement.annotation)
+                if not _annotation_is_safe(annotation):
+                    yield self.finding(
+                        context,
+                        statement,
+                        "TRC002",
+                        f"field annotation {annotation!r} on {node.name} is not "
+                        "JSONL-safe (allowed: int/float/str/bool and "
+                        "Tuple/Optional of those)",
+                    )
+
+    # -- emission sites ---------------------------------------------------------------
+
+    def _check_emission_sites(self, context: LintContext) -> Iterator[Finding]:
+        known = context.project.trace_record_names()
+        factories = context.project.trace_factory_names() or ()
+        if known is None and context.module is not None and context.module.endswith(
+            "trace.records"
+        ):
+            known = tuple(collect_record_class_names(context.tree))
+        if known is not None:
+            known = tuple(known) + tuple(factories)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            argument = node.args[0] if node.args else None
+            constructor = None
+            if isinstance(argument, ast.Call):
+                callee = argument.func
+                constructor = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else getattr(callee, "attr", None)
+                )
+            if constructor is None:
+                yield self.finding(
+                    context,
+                    node,
+                    "TRC004",
+                    ".emit() argument is not a direct record construction; "
+                    "emission sites must name a registered TraceRecord class",
+                )
+            elif known is not None and constructor not in known:
+                yield self.finding(
+                    context,
+                    node,
+                    "TRC004",
+                    f".emit({constructor}(...)) does not construct a registered "
+                    "trace record kind (see repro.trace.records.RECORD_TYPES)",
+                )

@@ -1,0 +1,128 @@
+"""``repro lint`` — the determinism- and contract-checking pass.
+
+Examples::
+
+    python -m repro lint                      # lint src/ (text output)
+    python -m repro lint src tests --format json
+    python -m repro lint --select DET,TRC     # only those checkers
+    python -m repro lint --ignore FLT001      # drop one rule
+    python -m repro lint --list-rules         # rule catalogue with rationale
+
+Exit status: 0 when clean, 1 when any error-severity finding remains after
+suppressions, 2 on usage errors (unknown rule patterns, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .base import all_rules
+from .findings import findings_payload
+from .runner import run_lint
+
+
+def add_lint_parser(subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism/contract static-analysis pass",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule IDs or prefixes to run (e.g. DET,TRC001)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule IDs or prefixes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.set_defaults(func=cmd_lint)
+
+
+def _split_patterns(values: List[str]) -> List[str]:
+    patterns: List[str] = []
+    for value in values:
+        patterns.extend(p.strip() for p in value.split(",") if p.strip())
+    return patterns
+
+
+def _print_rules() -> None:
+    for rule_id, rule in all_rules().items():
+        print(f"{rule_id}  {rule.summary}")
+        if rule.rationale:
+            print(f"        {rule.rationale}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        report = run_lint(
+            args.paths,
+            select=_split_patterns(args.select),
+            ignore=_split_patterns(args.ignore),
+        )
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload = findings_payload(
+            report.findings,
+            files_scanned=report.files_scanned,
+            suppressed=report.suppressed,
+        )
+        print(json.dumps(payload, indent=2, sort_keys=False))
+    else:
+        for finding in report.findings:
+            print(str(finding))
+        noun = "file" if report.files_scanned == 1 else "files"
+        tail = f", {report.suppressed} suppressed" if report.suppressed else ""
+        if report.findings:
+            print(
+                f"repro lint: {len(report.findings)} finding(s) in "
+                f"{report.files_scanned} {noun}{tail}"
+            )
+        else:
+            print(f"repro lint: clean ({report.files_scanned} {noun} scanned{tail})")
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-lint", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(subparsers)
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Lint findings: the typed result every checker produces.
+
+A :class:`Finding` pins one contract violation to a rule ID, a file, a line
+and a column, with a human-readable message.  Findings serialize to flat
+JSON-safe dicts (``--format json``) and back, and the round trip is exact so
+downstream tooling (CI annotations, editors) can consume the output without
+re-parsing text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Sequence
+
+from ..errors import ConfigurationError
+
+#: Rule IDs are a short uppercase checker prefix plus a 3-digit number.
+_RULE_ID = re.compile(r"^[A-Z]{2,5}\d{3}$")
+
+#: Bump when the JSON output layout changes incompatibly.
+LINT_SCHEMA_VERSION = 1
+
+#: Severities, in increasing order of weight.  Only ``error`` findings fail
+#: the pass (non-zero exit); ``warning`` is reserved for advisory rules.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable contract: a stable ID plus its documentation."""
+
+    id: str
+    summary: str
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if not _RULE_ID.match(self.id):
+            raise ConfigurationError(
+                f"rule ids are 2-5 uppercase letters + 3 digits (e.g. DET001), "
+                f"got {self.id!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a specific source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"finding severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Flat JSON-safe dict, field declaration order."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from its :meth:`to_payload` dict (exact)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"a finding payload must be a dict, got {payload!r}")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(f"finding payload has unknown keys {unknown}")
+        missing = sorted(known - set(payload))
+        if missing:
+            raise ConfigurationError(f"finding payload is missing keys {missing}")
+        return cls(**payload)
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.rule} {self.message}"
+
+
+def findings_payload(
+    findings: Sequence[Finding],
+    *,
+    files_scanned: int,
+    suppressed: int = 0,
+) -> Dict[str, Any]:
+    """The ``--format json`` document: schema, findings, per-rule summary."""
+    summary: Dict[str, int] = {}
+    for finding in findings:
+        summary[finding.rule] = summary.get(finding.rule, 0) + 1
+    return {
+        "schema": LINT_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "suppressed": suppressed,
+        "findings": [finding.to_payload() for finding in findings],
+        "summary": {rule: summary[rule] for rule in sorted(summary)},
+    }
+
+
+def findings_from_payload(payload: Dict[str, Any]) -> List[Finding]:
+    """Rebuild the findings list from a :func:`findings_payload` document."""
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ConfigurationError("a lint payload needs a 'findings' list")
+    raw = payload["findings"]
+    if not isinstance(raw, list):
+        raise ConfigurationError(f"'findings' must be a list, got {type(raw).__name__}")
+    return [Finding.from_payload(entry) for entry in raw]

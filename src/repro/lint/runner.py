@@ -1,0 +1,140 @@
+"""The lint runner: collect files, run applicable checkers, apply suppressions.
+
+One :func:`run_lint` call is one pass over a set of paths.  Files are linted
+independently (each gets a fresh :class:`~repro.lint.base.LintContext`), but
+share a single :class:`~repro.lint.base.Project` so cross-module facts — the
+registered trace-record names — are computed once.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .base import LintContext, Project, all_checkers, all_rules, module_name_for
+from .findings import Finding
+from .suppress import apply_suppressions, parse_suppressions
+
+#: Directory names never descended into while collecting sources.
+_SKIPPED_DIRS = ("__pycache__", ".git", ".ruff_cache", ".pytest_cache")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Every ``*.py`` file under ``paths`` (files kept as-is), sorted."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise ConfigurationError(f"lint path does not exist: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIPPED_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    collected.append(os.path.join(dirpath, filename))
+    return sorted(dict.fromkeys(collected))
+
+
+def _selected(rule: str, select: Sequence[str], ignore: Sequence[str]) -> bool:
+    """Whether ``rule`` survives the ``--select``/``--ignore`` filters.
+
+    Entries match a full rule ID (``DET001``) or a prefix (``DET``).  The
+    framework's own LNT findings always pass ``--select`` (they police the
+    suppressions of whatever was selected) but can be ignored explicitly.
+    """
+
+    def matches(patterns: Sequence[str]) -> bool:
+        return any(rule == p or rule.startswith(p) for p in patterns)
+
+    if matches(ignore):
+        return False
+    if select and not rule.startswith("LNT") and not matches(select):
+        return False
+    return True
+
+
+def lint_file(
+    path: str,
+    project: Project,
+    *,
+    module: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one file: raw checker findings filtered through its suppressions."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    rule="LNT003",
+                    message=f"file does not parse: {exc.msg}",
+                    path=path,
+                    line=exc.lineno or 1,
+                )
+            ],
+            0,
+        )
+    context = LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=module if module is not None else module_name_for(path),
+        project=project,
+    )
+    findings: List[Finding] = []
+    for checker_cls in all_checkers():
+        checker = checker_cls()
+        if checker.applies_to(context):
+            findings.extend(checker.check(context))
+    suppressions = parse_suppressions(path, source.splitlines())
+    return apply_suppressions(findings, suppressions)
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+    root: Optional[str] = None,
+) -> LintReport:
+    """Run every applicable checker over ``paths`` and return the report."""
+    select_list = [p.strip() for p in select if p.strip()]
+    ignore_list = [p.strip() for p in ignore if p.strip()]
+    known = set(all_rules())
+    for pattern in select_list + ignore_list:
+        if not any(rule == pattern or rule.startswith(pattern) for rule in known):
+            raise ConfigurationError(
+                f"--select/--ignore pattern {pattern!r} matches no known rule "
+                f"(see `repro lint --list-rules`)"
+            )
+
+    files = collect_files(paths)
+    project = Project(root if root is not None else os.getcwd())
+    report = LintReport(files_scanned=len(files))
+    for path in files:
+        findings, suppressed = lint_file(path, project)
+        report.suppressed += suppressed
+        report.findings.extend(
+            f for f in findings if _selected(f.rule, select_list, ignore_list)
+        )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,152 @@
+"""Inline suppressions: ``# lint-ok: RULE[,RULE...] -- justification``.
+
+A finding is suppressed when the offending line — or a comment-only line
+immediately above it — carries a ``lint-ok`` marker naming the finding's rule
+and a non-empty justification after ``--``.  The justification is mandatory:
+the whole point of the contract pass is that every deliberate exception is
+*explained* at the site, so a marker without one is itself a finding
+(``LNT001``), and a marker that suppresses nothing is stale (``LNT002``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .findings import Finding, Rule
+
+#: Framework rules: the suppression syntax polices itself.
+LNT_RULES = (
+    Rule(
+        "LNT001",
+        "a `lint-ok` suppression needs a justification after `--`",
+        "Suppressions document *why* a contract does not apply at a site; "
+        "a bare marker hides a violation without explaining it.",
+    ),
+    Rule(
+        "LNT002",
+        "a `lint-ok` suppression matched no finding (stale)",
+        "Stale suppressions outlive the code they excused and mask future "
+        "regressions of the same rule on the same line.",
+    ),
+    Rule(
+        "LNT003",
+        "file does not parse",
+        "A file the checkers cannot parse is a file whose contracts cannot "
+        "be verified at all.",
+    ),
+)
+
+#: ``lint-ok: DET001,FLT001 -- reason`` after a hash (rules comma-separated).
+_MARKER = re.compile(
+    r"#\s*lint-ok\s*:\s*(?P<rules>[A-Z]{2,5}\d{3}(?:\s*,\s*[A-Z]{2,5}\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``lint-ok`` marker."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: Lines this marker covers: its own line, and — when the marker stands on
+    #: a comment-only line — the next non-comment line below it, so a
+    #: justification may wrap over several comment lines.
+    covers: Tuple[int, ...] = ()
+    used: bool = field(default=False, compare=False)
+
+
+def parse_suppressions(path: str, source_lines: Sequence[str]) -> List[Suppression]:
+    """Every ``lint-ok`` marker in a file, with the lines it covers."""
+    suppressions: List[Suppression] = []
+    for index, text in enumerate(source_lines):
+        match = _MARKER.search(text)
+        if match is None:
+            continue
+        line = index + 1
+        comment_only = text.lstrip().startswith("#")
+        covers = (line,)
+        if comment_only:
+            # Cover the next non-comment line, letting the justification wrap
+            # over several comment lines between the marker and the code.
+            below = index + 1
+            while below < len(source_lines) and source_lines[below].lstrip().startswith("#"):
+                below += 1
+            covers = (line, below + 1)
+        suppressions.append(
+            Suppression(
+                path=path,
+                line=line,
+                rules=tuple(r.strip() for r in match.group("rules").split(",")),
+                justification=(match.group("why") or "").strip(),
+                covers=covers,
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: Sequence[Finding],
+    suppressions: Sequence[Suppression],
+) -> Tuple[List[Finding], int]:
+    """Drop suppressed findings; append LNT001/LNT002 findings for bad markers.
+
+    Returns ``(active_findings, suppressed_count)``.
+    """
+    by_key: Dict[Tuple[str, int, str], List[Suppression]] = {}
+    for suppression in suppressions:
+        for covered in suppression.covers:
+            for rule in suppression.rules:
+                by_key.setdefault((suppression.path, covered, rule), []).append(suppression)
+
+    active: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        matches = by_key.get((finding.path, finding.line, finding.rule), [])
+        justified = [s for s in matches if s.justification]
+        if justified:
+            for suppression in justified:
+                suppression.used = True
+            suppressed += 1
+            continue
+        # An unjustified marker still *claims* the finding (so LNT002 does not
+        # also fire) but does not silence it.
+        for suppression in matches:
+            suppression.used = True
+        active.append(finding)
+
+    seen: Set[Tuple[str, int]] = set()
+    for suppression in suppressions:
+        key = (suppression.path, suppression.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        if not suppression.justification:
+            active.append(
+                Finding(
+                    rule="LNT001",
+                    message=(
+                        "suppression has no justification; write "
+                        "`# lint-ok: RULE -- why the contract does not apply here`"
+                    ),
+                    path=suppression.path,
+                    line=suppression.line,
+                )
+            )
+        elif not suppression.used:
+            active.append(
+                Finding(
+                    rule="LNT002",
+                    message=(
+                        f"suppression for {', '.join(suppression.rules)} matched no "
+                        "finding; delete the stale `lint-ok` marker"
+                    ),
+                    path=suppression.path,
+                    line=suppression.line,
+                )
+            )
+    return active, suppressed

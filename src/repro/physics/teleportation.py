@@ -91,9 +91,12 @@ def _compose_bell_errors(a: BellDiagonalState, b: BellDiagonalState) -> BellDiag
     )
     out = [0.0, 0.0, 0.0, 0.0]
     for i in range(4):
+        # lint-ok: FLT001 -- exact-zero skip of an absent Bell term; any nonzero
+        # coefficient must contribute, so a toleranced check would change algebra
         if pa[i] == 0.0:
             continue
         for j in range(4):
+            # lint-ok: FLT001 -- same exact-zero term skip as the outer loop
             if pb[j] == 0.0:
                 continue
             out[table[i][j]] += pa[i] * pb[j]

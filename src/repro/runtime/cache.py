@@ -9,6 +9,7 @@ entries are treated as misses and discarded.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import functools
 import hashlib
@@ -142,10 +143,8 @@ class ResultCache:
             return default
         except (pickle.UnpicklingError, EOFError, AttributeError, ValueError, OSError):
             # A truncated or stale entry is a miss; drop it so the slot heals.
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(path)
-            except OSError:
-                pass
             return default
 
     def put(self, key: str, value: Any) -> str:
@@ -157,10 +156,8 @@ class ResultCache:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_path, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(tmp_path)
-            except OSError:
-                pass
             raise
         return path
 
@@ -168,9 +165,7 @@ class ResultCache:
         """Remove every entry; returns how many were deleted."""
         removed = 0
         for key in list(self.keys()):
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(self.path_for(key))
                 removed += 1
-            except OSError:
-                pass
         return removed

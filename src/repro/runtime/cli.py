@@ -175,9 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     # Imported lazily (like the experiment/scenario handlers below) so bare
     # invocations never pay the simulation-stack import behind repro.verify.
+    from ..lint.cli import add_lint_parser
     from ..verify.cli import add_verify_parser
 
     add_verify_parser(subparsers)
+    add_lint_parser(subparsers)
     return parser
 
 
@@ -358,6 +360,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from ..verify.cli import cmd_verify
 
             return cmd_verify(args)
+        if args.command == "lint":
+            from ..lint.cli import cmd_lint
+
+            return cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -10,6 +10,7 @@ hash, git sha, python version) to compare points across commits.
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import json
 import os
@@ -27,7 +28,7 @@ def current_git_sha() -> str:
     sha = os.environ.get("GITHUB_SHA")
     if sha:
         return sha
-    try:
+    with contextlib.suppress(OSError):
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             capture_output=True,
@@ -37,8 +38,6 @@ def current_git_sha() -> str:
         )
         if out.returncode == 0 and out.stdout.strip():
             return out.stdout.strip()
-    except OSError:
-        pass
     return "unknown"
 
 

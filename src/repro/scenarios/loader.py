@@ -22,15 +22,10 @@ from __future__ import annotations
 import itertools
 import json
 import os
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ScenarioError
 from .spec import ScenarioSpec, apply_overrides, deep_merge
-
-try:  # PyYAML is optional; JSON always works.
-    import yaml as _yaml
-except ImportError:  # pragma: no cover - depends on the environment
-    _yaml = None
 
 
 def parse_text(text: str, *, source: str = "<string>") -> Any:
@@ -38,14 +33,16 @@ def parse_text(text: str, *, source: str = "<string>") -> Any:
     try:
         return json.loads(text)
     except json.JSONDecodeError as json_error:
-        if _yaml is None:
+        try:  # PyYAML is optional; JSON always works.
+            import yaml
+        except ImportError:  # pragma: no cover - depends on the environment
             raise ScenarioError(
                 f"{source} is not valid JSON ({json_error}) and PyYAML is not "
                 "installed for the YAML fallback"
             ) from json_error
         try:
-            return _yaml.safe_load(text)
-        except _yaml.YAMLError as yaml_error:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as yaml_error:
             raise ScenarioError(
                 f"{source} parses as neither JSON ({json_error}) nor YAML ({yaml_error})"
             ) from yaml_error
@@ -70,7 +67,7 @@ def _library_entry(name: str, library: Optional[Mapping[str, Any]]) -> Dict[str,
 def _resolve_extends(
     data: Mapping[str, Any],
     library: Optional[Mapping[str, Any]],
-    seen: tuple,
+    seen: Tuple[str, ...],
 ) -> Dict[str, Any]:
     if not isinstance(data, Mapping):
         raise ScenarioError(f"a scenario must be a mapping, got {type(data).__name__}")
@@ -81,10 +78,10 @@ def _resolve_extends(
         raise ScenarioError(f"extends must name a scenario, got {parent_name!r}")
     parent_name = parent_name.strip()
     if parent_name in seen:
-        chain = " -> ".join(seen + (parent_name,))
+        chain = " -> ".join((*seen, parent_name))
         raise ScenarioError(f"circular scenario inheritance: {chain}")
     parent = _resolve_extends(
-        _library_entry(parent_name, library), library, seen + (parent_name,)
+        _library_entry(parent_name, library), library, (*seen, parent_name)
     )
     child = {k: v for k, v in data.items() if k != "extends"}
     # The child's name and description win; a child without either keeps only
@@ -213,10 +210,11 @@ def select_scenarios(
     """
     from .catalog import get_scenario, list_scenarios
 
-    if spec_path:
-        specs = load_scenario_file(spec_path)
-    else:
-        specs = [get_scenario(name) for name in list_scenarios()]
+    specs = (
+        load_scenario_file(spec_path)
+        if spec_path
+        else [get_scenario(name) for name in list_scenarios()]
+    )
     if names:
         by_name = {spec.name: spec for spec in specs}
         missing = [name for name in names if name not in by_name]

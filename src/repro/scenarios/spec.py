@@ -315,7 +315,7 @@ class RuntimeSpec:
 #: Top-level scenario keys (``extends`` is consumed by the loader).  The
 #: ``noise`` section is optional: absent means the fidelity pipeline is off.
 SECTION_KEYS = ("topology", "workload", "physics", "runtime", "noise")
-TOP_LEVEL_KEYS = ("name", "description", "extends") + SECTION_KEYS
+TOP_LEVEL_KEYS = ("name", "description", "extends", *SECTION_KEYS)
 
 
 @dataclass(frozen=True)

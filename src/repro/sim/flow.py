@@ -272,10 +272,8 @@ class FlowTransport(TransportBackend):
 
     def _reallocate(self) -> None:
         """Recompute max-min fair rates and reschedule completion events."""
-        if self._incremental:
-            rates = self._max_min_rates(list(self._flows.values()))
-        else:
-            rates = self._max_min_rates_reference(list(self._flows.values()))
+        allocate = self._max_min_rates if self._incremental else self._max_min_rates_reference
+        rates = allocate(list(self._flows.values()))
         trace = self.engine.trace
         if trace is not None and not trace.wants(FlowRateChanged.kind):
             trace = None
@@ -340,7 +338,7 @@ class FlowTransport(TransportBackend):
         for _ in range(len(flows) + 1):
             if not unfrozen:
                 break
-            for key in dirty:
+            for key in sorted(dirty):
                 d = 0.0
                 for work in alive[key].values():
                     d += work
@@ -369,7 +367,7 @@ class FlowTransport(TransportBackend):
                         newly_frozen.update(alive[key])
             if not newly_frozen:
                 break
-            for flow_id in newly_frozen:
+            for flow_id in sorted(newly_frozen):
                 flow = unfrozen.pop(flow_id)
                 for key in flow.demands:
                     alive[key].pop(flow_id, None)

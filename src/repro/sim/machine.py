@@ -10,9 +10,13 @@ flow model shares between concurrent channels.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
-from ..core.logical import LogicalQubitEncoding, STEANE_LEVEL_2
+if TYPE_CHECKING:  # annotation-only imports; no runtime dependency edges
+    from ..trace.records import RunStarted
+    from .fidelity import ChannelFidelityModel
+
+from ..core.logical import STEANE_LEVEL_2, LogicalQubitEncoding
 from ..core.placement import PurificationPlacement, endpoint_only
 from ..core.planner import ChannelPlanner
 from ..errors import ConfigurationError
@@ -169,7 +173,9 @@ class QuantumMachine:
             f"{self.allocation.label}, {self.protocol.upper()})"
         )
 
-    def trace_snapshot(self, *, workload: str, operations: int, t_us: float = 0.0):
+    def trace_snapshot(
+        self, *, workload: str, operations: int, t_us: float = 0.0
+    ) -> RunStarted:
         """The typed :class:`~repro.trace.RunStarted` header describing this machine.
 
         Every trace opens with it, so a golden fixture is self-describing: a
@@ -182,7 +188,7 @@ class QuantumMachine:
 
     # -- fidelity accounting --------------------------------------------------------------
 
-    def fidelity_model(self):
+    def fidelity_model(self) -> Optional[ChannelFidelityModel]:
         """The shared per-channel fidelity model, or None when not tracking.
 
         Transport backends call this once at construction; scenarios switch

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from ..errors import SimulationError
 from ..trace import OperationIssued, OperationRetired, RunEnded, TraceBus
+from ..trace.records import machine_record
 from ..workloads.instructions import InstructionStream, TwoQubitOp
 from .control import ControlUnit, PlannedCommunication
 from .engine import SimulationEngine
@@ -93,8 +94,10 @@ class CommunicationSimulator:
         states: Dict[int, _OpState] = {}
         if trace is not None:
             trace.emit(
-                self.machine.trace_snapshot(
-                    workload=stream.name, operations=scheduler.total_operations
+                machine_record(
+                    self.machine,
+                    workload=stream.name,
+                    operations=scheduler.total_operations,
                 )
             )
 

@@ -15,7 +15,7 @@ compact even on detailed runs that emit per-pair milestones.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .records import CANONICAL_KINDS, RECORD_TYPES, TraceRecord
@@ -23,7 +23,7 @@ from .records import CANONICAL_KINDS, RECORD_TYPES, TraceRecord
 Probe = Callable[[TraceRecord], None]
 
 
-def _validated_kinds(kinds: Optional[Iterable[str]]) -> Optional[frozenset]:
+def _validated_kinds(kinds: Optional[Iterable[str]]) -> Optional[FrozenSet[str]]:
     if kinds is None:
         return None
     kindset = frozenset(kinds)
@@ -60,7 +60,7 @@ class TraceBus:
         self._kinds = _validated_kinds(kinds)
         self._keep = keep_records
         self._records: List[TraceRecord] = []
-        self._probes: List[Tuple[Optional[frozenset], Probe]] = []
+        self._probes: List[Tuple[Optional[FrozenSet[str]], Probe]] = []
 
     @classmethod
     def canonical(cls) -> "TraceBus":
@@ -77,6 +77,7 @@ class TraceBus:
     def filtered(self, kinds: Iterable[str]) -> List[TraceRecord]:
         """Accepted records restricted to ``kinds`` (validated)."""
         kindset = _validated_kinds(kinds)
+        assert kindset is not None  # ``kinds`` is non-optional here
         return [record for record in self._records if record.kind in kindset]
 
     def subscribe(self, probe: Probe, *, kinds: Optional[Iterable[str]] = None) -> Probe:

@@ -167,6 +167,8 @@ def compare_runs(a: TracedRun, b: TracedRun) -> List[Divergence]:
     name = a.spec.name
     divergences: List[Divergence] = []
 
+    # lint-ok: FLT001 -- allocator parity is a *bitwise* contract: both allocators
+    # run the same float program, so any difference at all is a divergence
     if a.makespan_us != b.makespan_us:
         divergences.append(
             Divergence(

@@ -121,7 +121,7 @@ class InstructionStream:
         """Map operation index -> indices that depend on it."""
         result: Dict[int, Set[int]] = {op.index: set() for op in self.operations}
         for op_index, deps in self.dependencies().items():
-            for dep in deps:
+            for dep in sorted(deps):
                 result[dep].add(op_index)
         return result
 
@@ -137,7 +137,7 @@ class InstructionStream:
         fronts: List[List[TwoQubitOp]] = []
         for op in self.operations:
             op_level = 0
-            for dep in deps[op.index]:
+            for dep in sorted(deps[op.index]):
                 op_level = max(op_level, level[dep] + 1)
             level[op.index] = op_level
             while len(fronts) <= op_level:

@@ -41,4 +41,6 @@ def substream_seed(name: str, *parts: Union[int, str], seed: Optional[int] = 0) 
 
 def substream_rng(name: str, *parts: Union[int, str], seed: Optional[int] = 0) -> random.Random:
     """A :class:`random.Random` seeded from the named substream."""
+    # lint-ok: DET001 -- this *is* the sanctioned substream service: the Random is
+    # seeded from the SHA-256 digest above, never from process entropy
     return random.Random(substream_seed(name, *parts, seed=seed))

@@ -9,12 +9,12 @@ import math
 
 import pytest
 
-from repro.analysis.fig8 import figure8, rounds_to_converge
-from repro.analysis.fig9 import error_amplification, figure9
+from repro.analysis.experiments import EXPERIMENTS, get_experiment, list_experiments
 from repro.analysis.fig10 import figure10
 from repro.analysis.fig11 import figure11
 from repro.analysis.fig12 import breakdown_error_rate, figure12
-from repro.analysis.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.analysis.fig8 import figure8, rounds_to_converge
+from repro.analysis.fig9 import error_amplification, figure9
 from repro.analysis.tables import derived_channel_table, table1, table2
 from repro.errors import ConfigurationError
 from repro.physics.constants import THRESHOLD_ERROR

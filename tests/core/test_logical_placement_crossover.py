@@ -9,10 +9,10 @@ from repro.core.crossover import (
     recommended_hop_cells,
 )
 from repro.core.logical import (
-    LogicalQubitEncoding,
     STEANE_LEVEL_1,
     STEANE_LEVEL_2,
     STEANE_LEVEL_3,
+    LogicalQubitEncoding,
     expected_pairs_per_logical_communication,
     pairs_per_logical_communication,
 )

@@ -13,11 +13,11 @@ from repro import (
     qft_stream,
     shor_stream,
 )
+from repro.core.logical import STEANE_LEVEL_1
 from repro.core.metrics import evaluate_channel_metrics
 from repro.core.planner import ChannelPlanner
 from repro.network.topology import square_mesh
 from repro.sim.channel_setup import DetailedChannelSetup
-from repro.core.logical import STEANE_LEVEL_1
 
 
 class TestPublicAPI:

@@ -6,8 +6,8 @@ tests for the reproduction: if one of them fails, EXPERIMENTS.md is wrong.
 
 import pytest
 
-from repro.analysis.fig9 import error_amplification
 from repro.analysis.fig12 import breakdown_error_rate
+from repro.analysis.fig9 import error_amplification
 from repro.core.budget import EPRBudgetModel
 from repro.core.crossover import crossover_distance_cells, recommended_hop_cells
 from repro.core.logical import STEANE_LEVEL_2, pairs_per_logical_communication

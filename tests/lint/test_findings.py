@@ -1,0 +1,83 @@
+"""Finding and payload semantics: validation plus the exact JSON round trip."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    LINT_SCHEMA_VERSION,
+    Finding,
+    Rule,
+    findings_from_payload,
+    findings_payload,
+)
+
+
+def _sample_findings():
+    return [
+        Finding(rule="DET002", message="set loop", path="src/a.py", line=4, col=8),
+        Finding(rule="FLT001", message="bare ==", path="src/b.py", line=12),
+        Finding(
+            rule="TRC004",
+            message="untyped emit",
+            path="src/b.py",
+            line=30,
+            col=4,
+            severity="error",
+        ),
+    ]
+
+
+def test_rule_ids_are_validated():
+    Rule("DET001", "ok")
+    Rule("SPEC001", "four-letter prefixes are fine")
+    for bad in ("det001", "DET1", "D001", "TOOLONG001", "DET0001"):
+        with pytest.raises(ConfigurationError):
+            Rule(bad, "bad id")
+
+
+def test_finding_severity_is_validated():
+    with pytest.raises(ConfigurationError):
+        Finding(rule="DET001", message="m", path="a.py", line=1, severity="fatal")
+
+
+def test_finding_str_is_location_rule_message():
+    finding = Finding(rule="DET002", message="set loop", path="src/a.py", line=4, col=8)
+    assert str(finding) == "src/a.py:4:8: DET002 set loop"
+
+
+def test_finding_payload_round_trip_is_exact():
+    for finding in _sample_findings():
+        assert Finding.from_payload(finding.to_payload()) == finding
+
+
+def test_finding_from_payload_rejects_unknown_and_missing_keys():
+    payload = _sample_findings()[0].to_payload()
+    with pytest.raises(ConfigurationError):
+        Finding.from_payload({**payload, "extra": 1})
+    incomplete = dict(payload)
+    del incomplete["line"]
+    with pytest.raises(ConfigurationError):
+        Finding.from_payload(incomplete)
+    with pytest.raises(ConfigurationError):
+        Finding.from_payload("not a dict")
+
+
+def test_findings_payload_document_shape_and_round_trip():
+    findings = _sample_findings()
+    payload = findings_payload(findings, files_scanned=7, suppressed=2)
+    assert payload["schema"] == LINT_SCHEMA_VERSION
+    assert payload["files_scanned"] == 7
+    assert payload["suppressed"] == 2
+    assert payload["summary"] == {"DET002": 1, "FLT001": 1, "TRC004": 1}
+    # The document is JSON-safe and the findings list survives serialization.
+    rebuilt = findings_from_payload(json.loads(json.dumps(payload)))
+    assert rebuilt == findings
+
+
+def test_findings_from_payload_rejects_malformed_documents():
+    with pytest.raises(ConfigurationError):
+        findings_from_payload({"schema": LINT_SCHEMA_VERSION})
+    with pytest.raises(ConfigurationError):
+        findings_from_payload({"findings": "not a list"})

@@ -1,0 +1,90 @@
+"""Suppression semantics: justified markers silence, bad markers are findings."""
+
+from repro.lint import Finding, apply_suppressions, parse_suppressions
+
+
+def _finding(rule, line, path="mod.py"):
+    return Finding(rule=rule, message="m", path=path, line=line)
+
+
+def test_trailing_marker_suppresses_its_own_line():
+    lines = ["x = pick()  # lint-ok: DET001 -- seeded upstream by the harness"]
+    suppressions = parse_suppressions("mod.py", lines)
+    active, suppressed = apply_suppressions([_finding("DET001", 1)], suppressions)
+    assert active == []
+    assert suppressed == 1
+
+
+def test_comment_line_marker_covers_the_next_code_line():
+    lines = [
+        "# lint-ok: FLT001 -- allocator parity is a bitwise contract",
+        "if a.makespan_us != b.makespan_us:",
+        "    raise RuntimeError",
+    ]
+    suppressions = parse_suppressions("mod.py", lines)
+    assert suppressions[0].covers == (1, 2)
+    active, suppressed = apply_suppressions([_finding("FLT001", 2)], suppressions)
+    assert active == []
+    assert suppressed == 1
+
+
+def test_justification_may_wrap_over_several_comment_lines():
+    lines = [
+        "# lint-ok: DET001 -- the substream service is the one sanctioned",
+        "# consumer of the stdlib RNG; everything else draws from it.",
+        "return random.Random(seed)",
+    ]
+    suppressions = parse_suppressions("mod.py", lines)
+    assert suppressions[0].covers == (1, 3)
+    active, suppressed = apply_suppressions([_finding("DET001", 3)], suppressions)
+    assert active == []
+    assert suppressed == 1
+
+
+def test_marker_without_justification_keeps_the_finding_and_adds_lnt001():
+    lines = ["x = pick()  # lint-ok: DET001"]
+    suppressions = parse_suppressions("mod.py", lines)
+    active, suppressed = apply_suppressions([_finding("DET001", 1)], suppressions)
+    assert suppressed == 0
+    assert sorted(f.rule for f in active) == ["DET001", "LNT001"]
+
+
+def test_stale_justified_marker_is_lnt002():
+    lines = ["x = 1  # lint-ok: TRC004 -- was needed before the refactor"]
+    suppressions = parse_suppressions("mod.py", lines)
+    active, suppressed = apply_suppressions([], suppressions)
+    assert suppressed == 0
+    assert [f.rule for f in active] == ["LNT002"]
+    assert "TRC004" in active[0].message
+
+
+def test_marker_only_covers_its_named_rules():
+    lines = ["x = pick()  # lint-ok: DET001 -- justified for DET001 only"]
+    suppressions = parse_suppressions("mod.py", lines)
+    active, suppressed = apply_suppressions(
+        [_finding("DET001", 1), _finding("FLT001", 1)], suppressions
+    )
+    assert suppressed == 1
+    assert [f.rule for f in active] == ["FLT001"]
+
+
+def test_one_marker_may_name_several_rules():
+    lines = ["x = pick()  # lint-ok: DET001, DET002 -- both excused at this site"]
+    suppressions = parse_suppressions("mod.py", lines)
+    assert suppressions[0].rules == ("DET001", "DET002")
+    active, suppressed = apply_suppressions(
+        [_finding("DET001", 1), _finding("DET002", 1)], suppressions
+    )
+    assert suppressed == 2
+    assert active == []
+
+
+def test_marker_on_a_different_line_does_not_suppress():
+    lines = [
+        "x = pick()  # lint-ok: DET001 -- excuses line one only",
+        "y = pick()",
+    ]
+    suppressions = parse_suppressions("mod.py", lines)
+    active, suppressed = apply_suppressions([_finding("DET001", 2)], suppressions)
+    assert suppressed == 0
+    assert sorted(f.rule for f in active) == ["DET001", "LNT002"]
