@@ -11,16 +11,20 @@ distribution networks for ion-trap quantum computers.  The package is layered:
 * :mod:`repro.sim` — the event-driven communication simulator.
 * :mod:`repro.workloads` — QFT / Shor-kernel instruction streams.
 * :mod:`repro.analysis` — regeneration of every table and figure in the paper.
+* :mod:`repro.service` — open-loop traffic generation, admission control and
+  request scheduling: the machine as a multi-tenant EPR-distribution service.
 * :mod:`repro.runtime` — parallel experiment runner, on-disk result cache and
   the ``python -m repro`` command-line entry point.
+* :mod:`repro.api` — the **stable public facade**: ``load_scenario``, ``run``,
+  ``serve`` and ``sweep``.  External code should import from here; everything
+  deeper is internal and rearranged freely between releases.
 
 Quickstart::
 
-    from repro import QuantumChannel, IonTrapParameters
+    from repro import api
 
-    channel = QuantumChannel(hops=30, params=IonTrapParameters.default())
-    report = channel.build()
-    print(report.describe())
+    result = api.run(api.load_scenario("smoke"))
+    print(result.mode, result.makespan_us)
 """
 
 from .errors import (

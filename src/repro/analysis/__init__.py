@@ -16,6 +16,7 @@ from .fig11 import figure11
 from .fig12 import figure12
 from .fig16 import figure16
 from .fidelity_bandwidth import fidelity_bandwidth_tradeoff, scenario_fidelity_table
+from .service_metrics import service_load_sweep, service_metrics_table
 from .tables import table1, table2, derived_channel_table
 from .experiments import EXPERIMENTS, Experiment, get_experiment, list_experiments
 from .report import reproduction_report, run_experiments
@@ -41,6 +42,8 @@ __all__ = [
     "reproduction_report",
     "run_experiments",
     "scenario_fidelity_table",
+    "service_load_sweep",
+    "service_metrics_table",
     "table1",
     "table2",
 ]

@@ -18,6 +18,7 @@ from .fig12 import figure12
 from .fig16 import figure16
 from .fig8 import figure8
 from .fig9 import figure9
+from .service_metrics import service_load_sweep
 from .tables import derived_channel_table, table1, table2
 
 
@@ -103,6 +104,16 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "until the local-operation noise floor flattens the curve."
         ),
         runner=fidelity_bandwidth_tradeoff,
+    ),
+    "service_metrics": Experiment(
+        identifier="service_metrics",
+        kind="figure",
+        description="Steady-state service metrics vs offered load (open-loop traffic)",
+        expectation=(
+            "Delivered load saturates at the fabric's service capacity while the "
+            "completion-time p99 keeps growing with offered load."
+        ),
+        runner=service_load_sweep,
     ),
     "figure16": Experiment(
         identifier="figure16",

@@ -11,7 +11,7 @@ which bandwidth buys nothing.  This module quantifies that trade-off:
   against expected raw-pair cost, one series per channel distance, for
   purification levels 0..N (the curve a scenario's ``noise.target_fidelity``
   implicitly walks when it selects a level).
-* :func:`scenario_fidelity_table` — reduces ``run_scenario`` result records
+* :func:`scenario_fidelity_table` — reduces ``run_record`` result records
   (both backends) to a per-scenario fidelity/bandwidth table, the shape the
   benchmark trajectory and reports consume.
 """
@@ -79,7 +79,7 @@ def fidelity_bandwidth_tradeoff(
 
 
 def scenario_fidelity_table(records: Iterable[Dict[str, object]]) -> TableData:
-    """Per-scenario fidelity/bandwidth summary from ``run_scenario`` records.
+    """Per-scenario fidelity/bandwidth summary from ``run_record`` records.
 
     Records without fidelity accounting (no ``noise`` section) are skipped;
     the remaining rows carry the delivered-fidelity envelope next to the

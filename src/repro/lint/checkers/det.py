@@ -25,7 +25,7 @@ from ..base import Checker, LintContext, register_checker
 from ..findings import Finding, Rule
 
 #: Packages whose execution order reaches traces, goldens and cache keys.
-DETERMINISTIC_PACKAGES = ("repro.sim", "repro.network", "repro.workloads")
+DETERMINISTIC_PACKAGES = ("repro.sim", "repro.network", "repro.workloads", "repro.service")
 
 #: Call chains that read ambient state.  A ``None`` attribute matches any
 #: attribute of the module (``random.*``), otherwise the chain must end with
@@ -233,13 +233,13 @@ class DeterminismChecker(Checker):
         Rule(
             "DET001",
             "no ambient nondeterminism (random.*, time.time, os.urandom, "
-            "datetime.now, uuid, secrets) inside repro.sim/network/workloads",
+            "datetime.now, uuid, secrets) inside repro.sim/network/workloads/service",
             "Runs must replay bit-for-bit from the spec alone; stochastic "
             "workloads go through repro.workloads.rng's SHA-256 substreams.",
         ),
         Rule(
             "DET002",
-            "no iteration over set/frozenset inside repro.sim/network/workloads",
+            "no iteration over set/frozenset inside repro.sim/network/workloads/service",
             "Set order follows PYTHONHASHSEED for str-bearing elements; loops "
             "that feed scheduling or emission order must iterate sorted(...) "
             "or an insertion-ordered dict.",

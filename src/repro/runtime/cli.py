@@ -1,41 +1,57 @@
-"""``python -m repro`` — reproduce the paper's figures and tables.
+"""``python -m repro`` — reproduce the paper's figures, tables and services.
 
-Subcommands
------------
+The command surface is noun-verb:
 
-``list``
-    Show every registered experiment with its kind and description.
-``backends``
-    Show every registered transport backend with a one-line description.
-``run [IDENTIFIER ...]``
-    Regenerate specific artefacts (default: all light ones) and print them.
-``report``
-    Print the full reproduction report.
+``experiments list|run|report``
+    The paper-artefact registry: list every registered experiment, regenerate
+    specific artefacts, or print the full reproduction report.
 ``scenarios list|run|sweep``
     The declarative scenario engine: list the catalog, run named or
     file-defined scenarios, or fan a topology x workload grid across the
     pool.  ``--backend NAME`` re-runs the selection on another transport
     granularity; ``--emit-bench out.json`` writes the machine-readable
-    benchmark payload the CI perf trajectory records.
-``verify run|record|diff|fidelity``
+    benchmark payload the CI perf trajectory records.  Scenarios with a
+    ``traffic`` section run in open-loop service mode and report steady-state
+    metrics in place of batch counters.
+``serve``
+    Run one open-loop service scenario (``--scenario`` catalog name or
+    ``--spec`` file; a ``traffic`` section is required) and report offered
+    vs. delivered load, completion-time p50/p99, per-tenant queue depths and
+    drop rates.
+``verify run|record|diff|fidelity|traffic``
     The differential-verification harness (see :mod:`repro.verify.cli`):
     replay scenarios under both allocators and diff their dynamics,
     record/diff canonical golden traces under ``tests/golden/``, or hold the
-    fluid and detailed backends' delivered channel fidelities to the
-    documented tolerance.
+    fluid and detailed backends to the documented fidelity and traffic
+    parity tolerances.
+``lint``
+    The determinism/contract static analysis pass.
+``backends``
+    List the registered transport backends.
 
-``run``, ``report`` and the scenario commands execute through
+Commands that print data accept one shared ``--format text|json`` option;
+``json`` emits the machine-readable form of exactly what ``text`` shows.
+
+The legacy top-level ``list``, ``run`` and ``report`` commands remain as
+hidden deprecated aliases of ``experiments list|run|report``: they warn on
+stderr and print byte-identical output on stdout.
+
+``experiments`` and the scenario commands execute through
 :class:`repro.runtime.ExperimentRunner`, so independent experiments run
 across a process pool and results are cached on disk — a second invocation
 prints instantly.  ``--no-cache`` recomputes without touching the cache,
 ``--force`` recomputes and refreshes it.
+
+External code should not import this module (or :mod:`repro.runtime.runner`)
+directly — :mod:`repro.api` is the stable programmatic surface.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import ReproError
 from .runner import ExperimentRunner
@@ -67,6 +83,19 @@ def _add_runner_options(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_format_option(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+
+
+def _emit_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _add_scenario_io_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--spec",
@@ -89,45 +118,72 @@ def _add_scenario_io_options(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_experiment_run_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--heavy",
+        action="store_true",
+        help="include heavy experiments (full contention sweeps)",
+    )
+    _add_runner_options(sub)
+    sub.add_argument(
+        "--points",
+        type=int,
+        default=8,
+        metavar="N",
+        help="x-samples printed per figure series (default: 8)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the tables and figures of the ISCA 2006 "
         "quantum-interconnect paper.",
     )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    subparsers.add_parser("list", help="list the registered experiments")
-
-    subparsers.add_parser(
-        "backends", help="list the registered transport backends"
+    # The metavar pins the usage line to the public nouns; the deprecated
+    # top-level aliases registered below stay callable but invisible.
+    subparsers = parser.add_subparsers(
+        dest="command",
+        required=True,
+        metavar="{backends,experiments,scenarios,serve,verify,lint}",
     )
 
-    for name, help_text in (
-        ("run", "regenerate one or more artefacts and print them"),
-        ("report", "print the full reproduction report"),
-    ):
-        sub = subparsers.add_parser(name, help=help_text)
-        if name == "run":
-            sub.add_argument(
-                "identifiers",
-                nargs="*",
-                metavar="IDENTIFIER",
-                help="experiments to run (default: all light experiments)",
-            )
-        sub.add_argument(
-            "--heavy",
-            action="store_true",
-            help="include heavy experiments (full contention sweeps)",
-        )
-        _add_runner_options(sub)
-        sub.add_argument(
-            "--points",
-            type=int,
-            default=8,
-            metavar="N",
-            help="x-samples printed per figure series (default: 8)",
-        )
+    backends = subparsers.add_parser(
+        "backends", help="list the registered transport backends"
+    )
+    _add_format_option(backends)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="paper-artefact experiments (list/run/report)"
+    )
+    experiment_subs = experiments.add_subparsers(dest="experiment_command", required=True)
+    ex_list = experiment_subs.add_parser("list", help="list the registered experiments")
+    _add_format_option(ex_list)
+    ex_run = experiment_subs.add_parser(
+        "run", help="regenerate one or more artefacts and print them"
+    )
+    ex_run.add_argument(
+        "identifiers",
+        nargs="*",
+        metavar="IDENTIFIER",
+        help="experiments to run (default: all light experiments)",
+    )
+    _add_experiment_run_options(ex_run)
+    ex_report = experiment_subs.add_parser(
+        "report", help="print the full reproduction report"
+    )
+    _add_experiment_run_options(ex_report)
+
+    # Legacy aliases (deprecated, hidden: no help= keeps them out of --help).
+    # They accept exactly the options their pre-noun-verb forms accepted and
+    # print byte-identical stdout; the deprecation warning goes to stderr.
+    legacy_list = subparsers.add_parser("list")
+    legacy_list.set_defaults(format="text")
+    legacy_run = subparsers.add_parser("run")
+    legacy_run.add_argument("identifiers", nargs="*", metavar="IDENTIFIER")
+    _add_experiment_run_options(legacy_run)
+    legacy_report = subparsers.add_parser("report")
+    _add_experiment_run_options(legacy_report)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="declarative scenario engine (list/run/sweep)"
@@ -140,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc_list.add_argument(
         "--spec", default=None, metavar="FILE", help="list a scenario file instead"
     )
+    _add_format_option(sc_list)
 
     sc_run = scenario_subs.add_parser(
         "run", help="run scenarios by name (catalog or --spec file)"
@@ -152,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_io_options(sc_run)
     _add_runner_options(sc_run)
+    _add_format_option(sc_run)
 
     sc_sweep = scenario_subs.add_parser(
         "sweep", help="fan a scenario grid across the process pool"
@@ -172,6 +230,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_io_options(sc_sweep)
     _add_runner_options(sc_sweep)
+    _add_format_option(sc_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run an open-loop service scenario and report steady-state metrics",
+    )
+    serve.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="built-in catalog scenario to serve (needs a traffic section)",
+    )
+    serve.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON/YAML scenario file to serve instead of a catalog entry",
+    )
+    serve.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="scenario to pick when --spec defines several",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="transport backend to serve on (fluid or detailed; "
+        "overrides runtime.backend)",
+    )
+    serve.add_argument(
+        "--emit-bench",
+        default=None,
+        metavar="OUT",
+        help="write the machine-readable benchmark payload to OUT (JSON)",
+    )
+    _add_format_option(serve)
 
     # Imported lazily (like the experiment/scenario handlers below) so bare
     # invocations never pay the simulation-stack import behind repro.verify.
@@ -191,9 +287,33 @@ def _runner_from(args: argparse.Namespace) -> ExperimentRunner:
     )
 
 
-def _cmd_list() -> int:
+def _warn_deprecated(old: str, new: str) -> None:
+    print(
+        f"warning: `python -m repro {old}` is deprecated; "
+        f"use `python -m repro {new}`",
+        file=sys.stderr,
+    )
+
+
+# -- experiment commands ------------------------------------------------------------
+
+
+def _cmd_experiments_list(args: argparse.Namespace) -> int:
     from ..analysis.experiments import EXPERIMENTS
 
+    if getattr(args, "format", "text") == "json":
+        _emit_json(
+            [
+                {
+                    "name": name,
+                    "kind": experiment.kind,
+                    "description": experiment.description,
+                    "heavy": experiment.heavy,
+                }
+                for name, experiment in EXPERIMENTS.items()
+            ]
+        )
+        return 0
     width = max(len(name) for name in EXPERIMENTS)
     for name, experiment in EXPERIMENTS.items():
         heavy = "  [heavy]" if experiment.heavy else ""
@@ -201,17 +321,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_backends() -> int:
-    from ..sim.transport import backend_descriptions
-
-    descriptions = backend_descriptions()
-    width = max(len(name) for name in descriptions)
-    for name, description in descriptions.items():
-        print(f"{name:{width}s}  {description}")
-    return 0
-
-
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
     from ..analysis.experiments import get_experiment
     from ..analysis.report import render_artifact
 
@@ -226,7 +336,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_experiments_report(args: argparse.Namespace) -> int:
     from ..analysis.experiments import get_experiment
     from ..analysis.report import render_report
 
@@ -234,6 +344,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     results = runner.run(include_heavy=args.heavy, force=args.force)
     pairs = [(get_experiment(identifier), artifact) for identifier, artifact in results.items()]
     print(render_report(pairs, max_points=args.points))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.experiment_command == "list":
+        return _cmd_experiments_list(args)
+    if args.experiment_command == "run":
+        return _cmd_experiments_run(args)
+    if args.experiment_command == "report":
+        return _cmd_experiments_report(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled experiment command {args.experiment_command!r}"
+    )
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from ..sim.transport import backend_descriptions
+
+    descriptions = backend_descriptions()
+    if getattr(args, "format", "text") == "json":
+        _emit_json(descriptions)
+        return 0
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:{width}s}  {description}")
     return 0
 
 
@@ -252,6 +387,19 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     from ..scenarios import select_scenarios
 
     specs = _require_specs(select_scenarios(spec_path=args.spec), args.spec or "the catalog")
+    if args.format == "json":
+        _emit_json(
+            [
+                {
+                    "name": spec.name,
+                    "label": spec.label,
+                    "description": spec.description,
+                    "mode": "service" if spec.traffic is not None else "batch",
+                }
+                for spec in specs
+            ]
+        )
+        return 0
     width = max(len(spec.name) for spec in specs)
     for spec in specs:
         description = spec.description or spec.label
@@ -259,9 +407,24 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_table_line(name: str, record: Dict[str, Any], flag: str, width: int) -> str:
+    if "offered" in record:  # service-mode flat record
+        return (
+            f"{name:{width}s}  makespan={record['makespan_us']:14.3f} us  "
+            f"completed={record['completed']:3d}/{record['offered']:3d}  "
+            f"p99={record['latency_p99_us']:10.1f} us  "
+            f"drop={record['drop_rate']:6.1%}  [{flag}]"
+        )
+    return (
+        f"{name:{width}s}  makespan={record['makespan_us']:14.3f} us  "
+        f"channels={record['channel_count']:4d}  ops={record['operations']:4d}  "
+        f"[{flag}]"
+    )
+
+
 def _execute_scenarios(specs, args: argparse.Namespace) -> int:
     """Fan specs across the pool, print the result table, emit the payload."""
-    from ..scenarios import run_scenario
+    from ..scenarios import run_record
     from ..scenarios.bench import bench_payload, write_bench_file
 
     _require_specs(specs, "the scenario selection")
@@ -272,10 +435,11 @@ def _execute_scenarios(specs, args: argparse.Namespace) -> int:
     # differently-named specs describing the same experiment share one cache
     # slot; each record is re-labelled with its caller-side identity below.
     points = runner.sweep_records(
-        run_scenario, [{"spec": spec.canonical_dict()} for spec in specs], force=args.force
+        run_record, [{"spec": spec.canonical_dict()} for spec in specs], force=args.force
     )
     name_width = max(len(spec.name) for spec in specs)
     records = []
+    as_json = getattr(args, "format", "text") == "json"
     for spec, point in zip(specs, points):
         record = {
             **point.result,
@@ -285,19 +449,19 @@ def _execute_scenarios(specs, args: argparse.Namespace) -> int:
             "cached": point.cached,
         }
         records.append(record)
-        flag = "cache" if point.cached else f"{record['wall_time_s']:.2f}s"
-        print(
-            f"{spec.name:{name_width}s}  makespan={record['makespan_us']:14.3f} us  "
-            f"channels={record['channel_count']:4d}  ops={record['operations']:4d}  "
-            f"[{flag}]"
-        )
+        if not as_json:
+            flag = "cache" if point.cached else f"{record['wall_time_s']:.2f}s"
+            print(_scenario_table_line(spec.name, record, flag, name_width))
+    if as_json:
+        _emit_json(records)
     if args.emit_bench:
         payload = bench_payload(records)
         path = write_bench_file(args.emit_bench, payload)
         print(
             f"wrote {path}: {payload['scenario_count']} scenarios, "
             f"{payload['cache_hits']} cache hits, "
-            f"{payload['computed_wall_time_s']:.2f}s computed"
+            f"{payload['computed_wall_time_s']:.2f}s computed",
+            file=sys.stderr if as_json else sys.stdout,
         )
     return 0
 
@@ -343,19 +507,94 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     )
 
 
+# -- serve --------------------------------------------------------------------------
+
+
+def _render_service_text(result) -> str:
+    view = result.service
+    lines = [
+        f"{result.name}  [{result.label}]  backend={result.backend}  "
+        f"allocator={result.allocator}",
+        f"  traffic horizon {view.duration_us:.1f} us; queue drained at "
+        f"makespan {view.makespan_us:.3f} us",
+        f"  requests: offered {view.offered} -> admitted {view.admitted}, "
+        f"dropped {view.dropped} (drop rate {view.drop_rate:.1%}), "
+        f"completed {view.completed}",
+        f"  load: offered {view.offered_load_per_ms:.3f} ch/ms -> "
+        f"delivered {view.delivered_load_per_ms:.3f} ch/ms",
+        f"  completion time p50/p99: {view.latency_p50_us:.1f}/"
+        f"{view.latency_p99_us:.1f} us; queue wait p50/p99: "
+        f"{view.wait_p50_us:.1f}/{view.wait_p99_us:.1f} us",
+        f"  max queue depth {view.max_queue_depth}",
+    ]
+    if view.utilisation:
+        util = "  ".join(f"{k}={v:.4f}" for k, v in sorted(view.utilisation.items()))
+        lines.append(f"  utilisation: {util}")
+    for tenant in sorted(view.tenants):
+        stats = view.tenants[tenant]
+        lines.append(
+            f"  tenant {tenant}: offered {stats['offered']}, "
+            f"completed {stats['completed']}, dropped {stats['dropped']} "
+            f"({stats['drop_rate']:.1%}), completion p50/p99 "
+            f"{stats['latency_p50_us']:.1f}/{stats['latency_p99_us']:.1f} us, "
+            f"max queue {stats['max_queue_depth']}"
+        )
+    if view.fidelity:
+        parts = "  ".join(
+            f"{key}={value:.6g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(view.fidelity.items())
+        )
+        lines.append(f"  fidelity: {parts}")
+    lines.append(f"  wall time {result.wall_time_s:.2f}s")
+    return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .. import api
+    from ..errors import ScenarioError
+
+    if bool(args.scenario) == bool(args.spec):
+        raise ScenarioError("serve needs exactly one of --scenario NAME or --spec FILE")
+    spec = api.load_scenario(args.scenario or args.spec, args.name)
+    result = api.serve(spec, backend=args.backend)
+    if args.format == "json":
+        _emit_json(result.to_dict())
+    else:
+        print(_render_service_text(result))
+    if args.emit_bench:
+        from ..scenarios.bench import bench_payload, write_bench_file
+
+        record = {**result.flat_record(), "cached": False}
+        path = write_bench_file(args.emit_bench, bench_payload([record]))
+        view = result.service
+        print(
+            f"wrote {path}: p99={view.latency_p99_us:.1f} us, "
+            f"drop rate {view.drop_rate:.1%}",
+            file=sys.stderr if args.format == "json" else sys.stdout,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
-        if args.command == "backends":
-            return _cmd_backends()
+            _warn_deprecated("list", "experiments list")
+            return _cmd_experiments_list(args)
         if args.command == "run":
-            return _cmd_run(args)
+            _warn_deprecated("run", "experiments run")
+            return _cmd_experiments_run(args)
         if args.command == "report":
-            return _cmd_report(args)
+            _warn_deprecated("report", "experiments report")
+            return _cmd_experiments_report(args)
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+        if args.command == "backends":
+            return _cmd_backends(args)
         if args.command == "scenarios":
             return _cmd_scenarios(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "verify":
             from ..verify.cli import cmd_verify
 

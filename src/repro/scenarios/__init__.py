@@ -4,9 +4,12 @@ Scenarios turn experiments into data.  A :class:`ScenarioSpec` composes a
 topology (any registered fabric), a workload (any registered instruction
 stream), physics parameters and runtime options; the loader reads single
 scenarios, bundles and sweep grids from JSON/YAML with inheritance
-(``extends``); and :func:`run_scenario` executes a spec through the
-communication simulator, returning a flat record the benchmark trajectory
-and the CLI both consume.  ``python -m repro scenarios`` is the front end.
+(``extends``); and :func:`run` executes a spec — batch mode through the
+communication simulator, service mode (a ``traffic`` section) through the
+open-loop service simulator — returning a typed :class:`RunResult`.
+:func:`run_record` is the flat-record form the benchmark trajectory, sweep
+cache and CLI consume (:func:`run_scenario` is its deprecated alias).
+``python -m repro scenarios`` is the front end.
 """
 
 from .spec import (
@@ -14,7 +17,9 @@ from .spec import (
     PhysicsSpec,
     RuntimeSpec,
     ScenarioSpec,
+    TenantSpec,
     TopologySpec,
+    TrafficSpec,
     WorkloadSpec,
     apply_overrides,
     deep_merge,
@@ -28,15 +33,29 @@ from .loader import (
     select_scenarios,
 )
 from .catalog import default_grid, get_scenario, list_scenarios
-from .run import build_machine, build_stream, run_scenario
+from .run import (
+    BatchView,
+    RunResult,
+    ServiceView,
+    build_machine,
+    build_stream,
+    run,
+    run_record,
+    run_scenario,
+)
 from .bench import bench_payload, current_git_sha, write_bench_file
 
 __all__ = [
+    "BatchView",
     "NoiseSpec",
     "PhysicsSpec",
+    "RunResult",
     "RuntimeSpec",
     "ScenarioSpec",
+    "ServiceView",
+    "TenantSpec",
     "TopologySpec",
+    "TrafficSpec",
     "WorkloadSpec",
     "apply_overrides",
     "bench_payload",
@@ -52,6 +71,8 @@ __all__ = [
     "load_scenarios",
     "parse_text",
     "resolve_scenario",
+    "run",
+    "run_record",
     "run_scenario",
     "select_scenarios",
     "write_bench_file",

@@ -67,6 +67,35 @@ _CATALOG: Dict[str, Dict[str, Any]] = {
         "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
         "runtime": {"layout": "home_base"},
     },
+    "service_smoke": {
+        "description": "Open-loop service mode on the smoke mesh: two tenants, "
+        "always-admit, FIFO (<1 s).",
+        "extends": "smoke",
+        "traffic": {
+            "duration_us": 4000.0,
+            "seed": 11,
+            "max_inflight": 4,
+            "admission": "always",
+            "scheduler": "fifo",
+            "tenants": {
+                "bulk": {
+                    "arrival_process": "poisson",
+                    "mean_interarrival_us": 600.0,
+                    "size_dist": "pareto",
+                    "channels": 1,
+                    "max_channels": 3,
+                    "alpha": 1.5,
+                },
+                "latency": {
+                    "arrival_process": "fixed",
+                    "mean_interarrival_us": 900.0,
+                    "channels": 1,
+                    "priority": 1,
+                    "target_fidelity": 0.9999,
+                },
+            },
+        },
+    },
 }
 
 

@@ -2,20 +2,32 @@
 
 The bridge from declarative spec to simulation: a spec builds a
 :class:`~repro.sim.machine.QuantumMachine` (through the topology registry)
-and an instruction stream (through the workload registry), runs the
-communication simulator, and reduces the outcome to a flat, JSON-serializable
-result dict.  :func:`run_scenario` is a module-level callable taking only the
-spec mapping, so :meth:`repro.runtime.ExperimentRunner.sweep` can fan a
-scenario grid across its multiprocessing pool and cache each point under the
-spec's hash.
+and either an instruction stream (batch mode) or an open-loop traffic stream
+(service mode, when the spec carries a ``traffic`` section), runs the
+appropriate simulator, and reduces the outcome to a :class:`RunResult`.
+
+``RunResult`` is the typed result surface: one envelope of identity fields
+(name, spec hash, machine, backend …) plus exactly one populated *view* —
+:class:`BatchView` for closed batch runs, :class:`ServiceView` for open-loop
+service runs — with an exact JSON round-trip
+(``RunResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r``).
+
+:func:`run_record` is the flat-dict entry point sweeps and the CLI use: it is
+a module-level callable taking only the spec mapping, so
+:meth:`repro.runtime.ExperimentRunner.sweep` can fan a scenario grid across
+its multiprocessing pool and cache each point under the spec's hash.  For
+batch scenarios its output is byte-for-byte the historical schema-2 record;
+:func:`run_scenario` remains as a deprecated alias for it.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, replace
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Union
 
+from ..errors import ScenarioError
 from ..network.nodes import ResourceAllocation
 from ..network.routing import DimensionOrder
 from ..physics.parameters import IonTrapParameters
@@ -27,8 +39,10 @@ from .spec import NoiseSpec, ScenarioSpec
 
 #: Results carry a schema version so downstream consumers (the CI benchmark
 #: trajectory) can evolve without guessing.  Version 2 added the fidelity
-#: accounting columns (``noise``, ``fidelity``).
+#: accounting columns (``noise``, ``fidelity``); batch records stay at 2.
 RESULT_SCHEMA_VERSION = 2
+#: Flat records of open-loop service runs (new in the service-mode release).
+SERVICE_SCHEMA_VERSION = 3
 
 
 def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
@@ -101,14 +115,329 @@ def build_stream(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> InstructionStr
     return build_workload(spec.workload.kind, spec.workload.num_qubits, spec.workload.params)
 
 
-def run_scenario(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]:
-    """Build and simulate one scenario; returns a JSON-serializable record.
+# -- the typed result surface ---------------------------------------------------------
 
-    The record holds everything the benchmark trajectory tracks: the makespan
-    (the paper's runtime metric), channel/operation counts, per-resource
-    utilisation and the wall-clock cost of computing the point.
+
+def _utilisation(payload: Any, where: str) -> Dict[str, float]:
+    if not isinstance(payload, Mapping):
+        raise ScenarioError(f"{where}.utilisation must be a mapping, got {payload!r}")
+    return {str(key): float(value) for key, value in payload.items()}
+
+
+@dataclass(frozen=True)
+class BatchView:
+    """The closed-batch outcome: one instruction stream run to completion."""
+
+    operations: int
+    channel_count: int
+    total_hops: int
+    makespan_us: float
+    classical_messages: Optional[int]
+    utilisation: Dict[str, float] = field(default_factory=dict)
+    fidelity: Optional[Dict[str, Any]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "operations": self.operations,
+            "channel_count": self.channel_count,
+            "total_hops": self.total_hops,
+            "makespan_us": self.makespan_us,
+            "classical_messages": self.classical_messages,
+            "utilisation": dict(self.utilisation),
+            "fidelity": dict(self.fidelity) if self.fidelity is not None else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BatchView":
+        messages = payload.get("classical_messages")
+        fidelity = payload.get("fidelity")
+        return cls(
+            operations=int(payload["operations"]),
+            channel_count=int(payload["channel_count"]),
+            total_hops=int(payload["total_hops"]),
+            makespan_us=float(payload["makespan_us"]),
+            classical_messages=int(messages) if messages is not None else None,
+            utilisation=_utilisation(payload.get("utilisation", {}), "batch"),
+            fidelity=dict(fidelity) if fidelity is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceView:
+    """The open-loop outcome: steady-state service metrics over the horizon."""
+
+    duration_us: float
+    makespan_us: float
+    offered: int
+    admitted: int
+    dropped: int
+    completed: int
+    drop_rate: float
+    offered_load_per_ms: float
+    delivered_load_per_ms: float
+    latency_p50_us: float
+    latency_p99_us: float
+    wait_p50_us: float
+    wait_p99_us: float
+    max_queue_depth: int
+    utilisation: Dict[str, float] = field(default_factory=dict)
+    tenants: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    fidelity: Optional[Dict[str, Any]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "duration_us": self.duration_us,
+            "makespan_us": self.makespan_us,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "completed": self.completed,
+            "drop_rate": self.drop_rate,
+            "offered_load_per_ms": self.offered_load_per_ms,
+            "delivered_load_per_ms": self.delivered_load_per_ms,
+            "latency_p50_us": self.latency_p50_us,
+            "latency_p99_us": self.latency_p99_us,
+            "wait_p50_us": self.wait_p50_us,
+            "wait_p99_us": self.wait_p99_us,
+            "max_queue_depth": self.max_queue_depth,
+            "utilisation": dict(self.utilisation),
+            "tenants": {name: dict(stats) for name, stats in self.tenants.items()},
+            "fidelity": dict(self.fidelity) if self.fidelity is not None else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ServiceView":
+        tenants_raw = payload.get("tenants", {})
+        if not isinstance(tenants_raw, Mapping):
+            raise ScenarioError(f"service.tenants must be a mapping, got {tenants_raw!r}")
+        fidelity = payload.get("fidelity")
+        return cls(
+            duration_us=float(payload["duration_us"]),
+            makespan_us=float(payload["makespan_us"]),
+            offered=int(payload["offered"]),
+            admitted=int(payload["admitted"]),
+            dropped=int(payload["dropped"]),
+            completed=int(payload["completed"]),
+            drop_rate=float(payload["drop_rate"]),
+            offered_load_per_ms=float(payload["offered_load_per_ms"]),
+            delivered_load_per_ms=float(payload["delivered_load_per_ms"]),
+            latency_p50_us=float(payload["latency_p50_us"]),
+            latency_p99_us=float(payload["latency_p99_us"]),
+            wait_p50_us=float(payload["wait_p50_us"]),
+            wait_p99_us=float(payload["wait_p99_us"]),
+            max_queue_depth=int(payload["max_queue_depth"]),
+            utilisation=_utilisation(payload.get("utilisation", {}), "service"),
+            tenants={str(name): dict(stats) for name, stats in tenants_raw.items()},
+            fidelity=dict(fidelity) if fidelity is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One scenario run: an identity envelope plus exactly one populated view.
+
+    ``batch`` is set for closed batch runs, ``service`` for open-loop service
+    runs; never both.  :meth:`to_dict`/:meth:`from_dict` round-trip exactly
+    through JSON, and :meth:`flat_record` produces the flat dict the sweep
+    cache, benchmark trajectory and CLI tables consume (byte-identical to the
+    historical schema-2 record for batch runs).
+    """
+
+    schema: int
+    name: str
+    label: str
+    spec_hash: str
+    spec: Dict[str, Any]
+    machine: str
+    workload: str
+    topology_kind: str
+    layout: str
+    allocator: str
+    backend: str
+    wall_time_s: float
+    batch: Optional[BatchView] = None
+    service: Optional[ServiceView] = None
+
+    def __post_init__(self) -> None:
+        if (self.batch is None) == (self.service is None):
+            raise ScenarioError(
+                "a RunResult carries exactly one view: batch XOR service"
+            )
+
+    @property
+    def mode(self) -> str:
+        """``"batch"`` or ``"service"``."""
+        return "service" if self.service is not None else "batch"
+
+    @property
+    def makespan_us(self) -> float:
+        view = self.service if self.service is not None else self.batch
+        assert view is not None  # __post_init__ guarantees one view
+        return view.makespan_us
+
+    # -- codecs -----------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested JSON-safe form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "schema": self.schema,
+            "mode": self.mode,
+            "name": self.name,
+            "label": self.label,
+            "spec_hash": self.spec_hash,
+            "spec": self.spec,
+            "machine": self.machine,
+            "workload": self.workload,
+            "topology_kind": self.topology_kind,
+            "layout": self.layout,
+            "allocator": self.allocator,
+            "backend": self.backend,
+            "batch": self.batch.to_payload() if self.batch is not None else None,
+            "service": self.service.to_payload() if self.service is not None else None,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        if not isinstance(payload, Mapping):
+            raise ScenarioError(f"a RunResult payload must be a mapping, got {payload!r}")
+        batch_raw = payload.get("batch")
+        service_raw = payload.get("service")
+        spec = payload.get("spec")
+        if not isinstance(spec, Mapping):
+            raise ScenarioError(f"RunResult.spec must be a mapping, got {spec!r}")
+        return cls(
+            schema=int(payload["schema"]),
+            name=str(payload["name"]),
+            label=str(payload["label"]),
+            spec_hash=str(payload["spec_hash"]),
+            spec=dict(spec),
+            machine=str(payload["machine"]),
+            workload=str(payload["workload"]),
+            topology_kind=str(payload["topology_kind"]),
+            layout=str(payload["layout"]),
+            allocator=str(payload["allocator"]),
+            backend=str(payload["backend"]),
+            wall_time_s=float(payload["wall_time_s"]),
+            batch=BatchView.from_payload(batch_raw) if batch_raw is not None else None,
+            service=ServiceView.from_payload(service_raw) if service_raw is not None else None,
+        )
+
+    # -- the flat record ---------------------------------------------------------------
+
+    def flat_record(self) -> Dict[str, Any]:
+        """The flat dict the sweep cache and benchmark trajectory consume.
+
+        Batch runs reproduce the historical schema-2 record byte-for-byte
+        (same keys, same order, same values); service runs produce the flat
+        schema-3 layout with the steady-state columns.
+        """
+        spec = self.spec
+        noise = spec.get("noise")
+        head: Dict[str, Any] = {
+            "schema": self.schema,
+            "name": self.name,
+            "label": self.label,
+            "spec_hash": self.spec_hash,
+            "spec": self.spec,
+            "machine": self.machine,
+            "workload": self.workload,
+            "topology_kind": self.topology_kind,
+            "layout": self.layout,
+            "allocator": self.allocator,
+            "backend": self.backend,
+        }
+        if self.batch is not None:
+            batch = self.batch
+            head.update(
+                {
+                    "operations": batch.operations,
+                    "channel_count": batch.channel_count,
+                    "total_hops": batch.total_hops,
+                    "makespan_us": batch.makespan_us,
+                    "classical_messages": batch.classical_messages,
+                    "utilisation": dict(batch.utilisation),
+                    "noise": dict(noise) if noise is not None else None,
+                    "fidelity": batch.fidelity,
+                    "wall_time_s": self.wall_time_s,
+                }
+            )
+            return head
+        service = self.service
+        assert service is not None  # __post_init__ guarantees one view
+        head.update(
+            {
+                "offered": service.offered,
+                "admitted": service.admitted,
+                "dropped": service.dropped,
+                "completed": service.completed,
+                "drop_rate": service.drop_rate,
+                "offered_load_per_ms": service.offered_load_per_ms,
+                "delivered_load_per_ms": service.delivered_load_per_ms,
+                "latency_p50_us": service.latency_p50_us,
+                "latency_p99_us": service.latency_p99_us,
+                "wait_p50_us": service.wait_p50_us,
+                "wait_p99_us": service.wait_p99_us,
+                "max_queue_depth": service.max_queue_depth,
+                "duration_us": service.duration_us,
+                "makespan_us": service.makespan_us,
+                "utilisation": dict(service.utilisation),
+                "tenants": {k: dict(v) for k, v in service.tenants.items()},
+                "noise": dict(noise) if noise is not None else None,
+                "fidelity": service.fidelity,
+                "wall_time_s": self.wall_time_s,
+            }
+        )
+        return head
+
+
+def _envelope(
+    spec: ScenarioSpec,
+    *,
+    schema: int,
+    machine: QuantumMachine,
+    workload: str,
+    wall_time_s: float,
+    batch: Optional[BatchView] = None,
+    service: Optional[ServiceView] = None,
+) -> RunResult:
+    return RunResult(
+        schema=schema,
+        name=spec.name,
+        label=spec.label,
+        spec_hash=spec.spec_hash,
+        spec=spec.to_dict(),
+        machine=machine.describe(),
+        workload=workload,
+        topology_kind=spec.topology.kind,
+        layout=spec.runtime.layout,
+        allocator=spec.runtime.allocator,
+        backend=spec.runtime.backend,
+        wall_time_s=wall_time_s,
+        batch=batch,
+        service=service,
+    )
+
+
+# -- execution ------------------------------------------------------------------------
+
+
+def run(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> RunResult:
+    """Build and simulate one scenario, returning the typed :class:`RunResult`.
+
+    A spec with a ``traffic`` section runs in open-loop service mode through
+    :class:`~repro.service.ServiceSimulator`; otherwise the workload's
+    instruction stream runs to completion in batch mode.  Both paths share
+    the machine construction, so a traffic section changes *what is offered*,
+    never *what machine serves it*.
     """
     spec = _as_spec(spec)
+    if spec.traffic is not None:
+        return _run_service(spec)
+    return _run_batch(spec)
+
+
+def _run_batch(spec: ScenarioSpec) -> RunResult:
     started = time.perf_counter()
     # An oversubscribed workload fails inside build_machine: the layout
     # refuses more logical qubits than the fabric has LQ sites.
@@ -120,25 +449,88 @@ def run_scenario(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]
     result = simulator.run(stream, max_events=spec.runtime.max_events)
     wall_s = time.perf_counter() - started
     total_hops = sum(record.total_hops for record in result.operations)
-    return {
-        "schema": RESULT_SCHEMA_VERSION,
-        "name": spec.name,
-        "label": spec.label,
-        "spec_hash": spec.spec_hash,
-        "spec": spec.to_dict(),
-        "machine": machine.describe(),
-        "workload": stream.name,
-        "topology_kind": spec.topology.kind,
-        "layout": spec.runtime.layout,
-        "allocator": spec.runtime.allocator,
-        "backend": result.backend,
-        "operations": len(result.operations),
-        "channel_count": result.channel_count,
-        "total_hops": total_hops,
-        "makespan_us": result.makespan_us,
-        "classical_messages": result.metadata.get("classical_messages"),
-        "utilisation": dict(result.resource_utilisation),
-        "noise": asdict(spec.noise) if spec.noise is not None else None,
-        "fidelity": result.fidelity_summary(),
-        "wall_time_s": wall_s,
-    }
+    messages = result.metadata.get("classical_messages")
+    return _envelope(
+        spec,
+        schema=RESULT_SCHEMA_VERSION,
+        machine=machine,
+        workload=stream.name,
+        wall_time_s=wall_s,
+        batch=BatchView(
+            operations=len(result.operations),
+            channel_count=result.channel_count,
+            total_hops=total_hops,
+            makespan_us=result.makespan_us,
+            classical_messages=messages if isinstance(messages, int) else None,
+            utilisation=dict(result.resource_utilisation),
+            fidelity=result.fidelity_summary(),
+        ),
+    )
+
+
+def _run_service(spec: ScenarioSpec) -> RunResult:
+    from ..service import ServiceSimulator
+
+    traffic = spec.traffic
+    if traffic is None:  # pragma: no cover - guarded by run()
+        raise ScenarioError(f"scenario {spec.name!r} has no traffic section")
+    started = time.perf_counter()
+    machine = build_machine(spec)
+    simulator = ServiceSimulator(
+        machine, allocator=spec.runtime.allocator, backend=spec.runtime.backend
+    )
+    result = simulator.run(traffic)
+    wall_s = time.perf_counter() - started
+    metrics = result.metrics
+    tenants_raw = metrics.get("tenants", {})
+    return _envelope(
+        spec,
+        schema=SERVICE_SCHEMA_VERSION,
+        machine=machine,
+        workload=f"service[{len(traffic.tenants)} tenants]",
+        wall_time_s=wall_s,
+        service=ServiceView(
+            duration_us=result.duration_us,
+            makespan_us=result.makespan_us,
+            offered=int(metrics.get("offered", 0)),
+            admitted=int(metrics.get("admitted", 0)),
+            dropped=int(metrics.get("dropped", 0)),
+            completed=int(metrics.get("completed", 0)),
+            drop_rate=float(metrics.get("drop_rate", 0.0)),
+            offered_load_per_ms=float(metrics.get("offered_load_per_ms", 0.0)),
+            delivered_load_per_ms=float(metrics.get("delivered_load_per_ms", 0.0)),
+            latency_p50_us=float(metrics.get("latency_p50_us", 0.0)),
+            latency_p99_us=float(metrics.get("latency_p99_us", 0.0)),
+            wait_p50_us=float(metrics.get("wait_p50_us", 0.0)),
+            wait_p99_us=float(metrics.get("wait_p99_us", 0.0)),
+            max_queue_depth=int(metrics.get("max_queue_depth", 0)),
+            utilisation=dict(result.resource_utilisation),
+            tenants={str(k): dict(v) for k, v in tenants_raw.items()},
+            fidelity=result.fidelity_summary(),
+        ),
+    )
+
+
+def run_record(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Run one scenario and return its flat record (the sweep/cache unit).
+
+    This is the module-level callable :meth:`ExperimentRunner.sweep` ships to
+    pool workers.  For batch scenarios the record is byte-identical to the
+    historical schema-2 ``run_scenario`` output.
+    """
+    return run(spec).flat_record()
+
+
+def run_scenario(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Deprecated alias for :func:`run_record` (the historical flat-dict API).
+
+    Kept byte-compatible for one release; new code should call :func:`run`
+    for the typed :class:`RunResult` or :func:`run_record` for the flat dict.
+    """
+    warnings.warn(
+        "run_scenario() is deprecated: use repro.scenarios.run.run() for the "
+        "typed RunResult or run_record() for the flat record",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_record(spec)

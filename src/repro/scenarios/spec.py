@@ -41,6 +41,12 @@ ROUTING_NAMES = ("xy", "yx")
 #: registry in :mod:`repro.sim.transport` (kept literal here so validating a
 #: spec never imports the simulation stack; a test pins the two in sync).
 BACKEND_NAMES = ("fluid", "detailed")
+#: Service-mode registries, mirrored literally from :mod:`repro.service` for
+#: the same reason as :data:`BACKEND_NAMES` (tests pin them in sync).
+ADMISSION_NAMES = ("always", "token_bucket", "queue_bound")
+SCHEDULER_NAMES = ("fifo", "priority", "fidelity")
+ARRIVAL_PROCESSES = ("poisson", "fixed", "mmpp")
+SIZE_DISTRIBUTIONS = ("constant", "pareto")
 
 
 def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
@@ -284,6 +290,183 @@ class NoiseSpec:
 
 
 @dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the open-loop service: its traffic mix and class.
+
+    Every field is sweepable as ``traffic.tenants.<name>.<field>``:
+
+    * ``arrival_process`` — ``poisson`` (exponential interarrivals),
+      ``fixed`` (constant interarrivals) or ``mmpp`` (two-state Markov-
+      modulated Poisson: bursts of ``burst_factor``-times-faster arrivals
+      alternating with equally slower phases every ``phase_us``);
+    * ``mean_interarrival_us`` — mean request spacing (the offered rate);
+    * ``size_dist``/``channels`` — how many back-to-back channels one
+      request opens: ``constant`` uses ``channels`` exactly, ``pareto``
+      draws a heavy tail with shape ``alpha`` scaled by ``channels`` and
+      capped at ``max_channels``;
+    * ``priority`` — strict-priority rank (lower runs first);
+    * ``target_fidelity`` — optional per-tenant fidelity class, consumed by
+      the ``fidelity`` request scheduler (tighter targets run first).
+    """
+
+    arrival_process: str = "poisson"
+    mean_interarrival_us: float = 500.0
+    burst_factor: float = 4.0
+    phase_us: float = 2000.0
+    size_dist: str = "constant"
+    channels: int = 1
+    alpha: float = 1.5
+    max_channels: int = 8
+    priority: int = 0
+    target_fidelity: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, data: Any, *, where: str = "tenant") -> "TenantSpec":
+        data = _require_mapping(data, where)
+        _reject_unknown(
+            data,
+            (
+                "arrival_process",
+                "mean_interarrival_us",
+                "burst_factor",
+                "phase_us",
+                "size_dist",
+                "channels",
+                "alpha",
+                "max_channels",
+                "priority",
+                "target_fidelity",
+            ),
+            where,
+        )
+        priority = data.get("priority", cls.priority)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ScenarioError(f"{where}.priority must be an integer, got {priority!r}")
+        channels = _int_field(data, "channels", cls.channels, where, minimum=1)
+        max_channels = _int_field(data, "max_channels", cls.max_channels, where, minimum=1)
+        if max_channels < channels:
+            raise ScenarioError(
+                f"{where}.max_channels must be >= channels ({channels}), got {max_channels}"
+            )
+        return cls(
+            arrival_process=_choice_field(
+                data, "arrival_process", cls.arrival_process, where, ARRIVAL_PROCESSES
+            ),
+            mean_interarrival_us=_float_field(
+                data,
+                "mean_interarrival_us",
+                cls.mean_interarrival_us,
+                where,
+                minimum=0.0,
+                exclusive=True,
+            ),
+            burst_factor=_float_field(
+                data, "burst_factor", cls.burst_factor, where, minimum=1.0
+            ),
+            phase_us=_float_field(
+                data, "phase_us", cls.phase_us, where, minimum=0.0, exclusive=True
+            ),
+            size_dist=_choice_field(
+                data, "size_dist", cls.size_dist, where, SIZE_DISTRIBUTIONS
+            ),
+            channels=channels,
+            alpha=_float_field(data, "alpha", cls.alpha, where, minimum=0.0, exclusive=True),
+            max_channels=max_channels,
+            priority=priority,
+            target_fidelity=_optional_unit_float(
+                data, "target_fidelity", where, low=0.0, high=1.0,
+                low_open=True, high_open=True,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Open-loop service-mode traffic: arrivals, admission and scheduling.
+
+    The *presence* of a ``traffic`` section switches a scenario from closed
+    batch mode (run the workload's instruction stream to completion) to open
+    service mode: tenants offer channel requests over ``duration_us``, an
+    admission controller gates them, and a request scheduler orders admitted
+    work onto at most ``max_inflight`` concurrent transport channels.
+    Scenarios without a ``traffic`` section run exactly as before — same
+    flat result records, same spec hashes, same golden traces.
+
+    Every field is optional except ``tenants`` and sweepable as
+    ``traffic.<field>``.  Admission kinds: ``always`` admits everything,
+    ``token_bucket`` refills ``admission_rate_per_ms`` tokens per millisecond
+    up to ``admission_burst``, ``queue_bound`` drops requests arriving to a
+    queue already ``queue_limit`` deep.
+    """
+
+    tenants: Dict[str, TenantSpec] = field(default_factory=dict)
+    duration_us: float = 10000.0
+    seed: int = 0
+    max_inflight: int = 4
+    admission: str = "always"
+    admission_rate_per_ms: float = 10.0
+    admission_burst: int = 8
+    queue_limit: int = 64
+    scheduler: str = "fifo"
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TrafficSpec":
+        data = _require_mapping(data, "traffic")
+        _reject_unknown(
+            data,
+            (
+                "tenants",
+                "duration_us",
+                "seed",
+                "max_inflight",
+                "admission",
+                "admission_rate_per_ms",
+                "admission_burst",
+                "queue_limit",
+                "scheduler",
+            ),
+            "traffic",
+        )
+        raw_tenants = _require_mapping(data.get("tenants"), "traffic.tenants")
+        if not raw_tenants:
+            raise ScenarioError("traffic.tenants must define at least one tenant")
+        # Sorted construction: tenant declaration order is cosmetic, so two
+        # specs listing the same tenants differently share a hash/cache slot.
+        tenants = {
+            name: TenantSpec.from_dict(raw_tenants[name], where=f"traffic.tenants.{name}")
+            for name in sorted(raw_tenants)
+        }
+        return cls(
+            tenants=tenants,
+            duration_us=_float_field(
+                data, "duration_us", cls.duration_us, "traffic", minimum=0.0, exclusive=True
+            ),
+            seed=_int_field(data, "seed", cls.seed, "traffic", minimum=0),
+            max_inflight=_int_field(
+                data, "max_inflight", cls.max_inflight, "traffic", minimum=1
+            ),
+            admission=_choice_field(
+                data, "admission", cls.admission, "traffic", ADMISSION_NAMES
+            ),
+            admission_rate_per_ms=_float_field(
+                data,
+                "admission_rate_per_ms",
+                cls.admission_rate_per_ms,
+                "traffic",
+                minimum=0.0,
+                exclusive=True,
+            ),
+            admission_burst=_int_field(
+                data, "admission_burst", cls.admission_burst, "traffic", minimum=1
+            ),
+            queue_limit=_int_field(data, "queue_limit", cls.queue_limit, "traffic", minimum=1),
+            scheduler=_choice_field(
+                data, "scheduler", cls.scheduler, "traffic", SCHEDULER_NAMES
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """How the scenario executes: backend, layout, allocator, routing, limits."""
 
@@ -313,8 +496,9 @@ class RuntimeSpec:
 
 
 #: Top-level scenario keys (``extends`` is consumed by the loader).  The
-#: ``noise`` section is optional: absent means the fidelity pipeline is off.
-SECTION_KEYS = ("topology", "workload", "physics", "runtime", "noise")
+#: ``noise`` and ``traffic`` sections are optional: absent means the fidelity
+#: pipeline (resp. the open-loop service mode) is off.
+SECTION_KEYS = ("topology", "workload", "physics", "runtime", "noise", "traffic")
 TOP_LEVEL_KEYS = ("name", "description", "extends", *SECTION_KEYS)
 
 
@@ -329,6 +513,8 @@ class ScenarioSpec:
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
     #: Optional noise model; None keeps the fidelity pipeline off entirely.
     noise: Optional[NoiseSpec] = None
+    #: Optional open-loop traffic; None keeps the scenario in batch mode.
+    traffic: Optional[TrafficSpec] = None
     description: str = ""
 
     @classmethod
@@ -351,6 +537,8 @@ class ScenarioSpec:
         # fidelity accounting off.  An *empty* mapping enables it with the
         # default physics, so ``noise: {}`` is the minimal opt-in.
         noise = data.get("noise")
+        # Same convention for ``traffic``: null == absent == batch mode.
+        traffic = data.get("traffic")
         return cls(
             name=resolved_name.strip(),
             topology=TopologySpec.from_dict(data.get("topology")),
@@ -358,19 +546,22 @@ class ScenarioSpec:
             physics=PhysicsSpec.from_dict(data.get("physics")),
             runtime=RuntimeSpec.from_dict(data.get("runtime")),
             noise=NoiseSpec.from_dict(noise) if noise is not None else None,
+            traffic=TrafficSpec.from_dict(traffic) if traffic is not None else None,
             description=description,
         )
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form; ``from_dict`` round-trips it exactly.
 
-        ``noise`` is omitted when unset, so specs predating the fidelity
-        pipeline serialize (and hash — see :meth:`canonical_dict`) exactly as
-        they always did.
+        ``noise`` and ``traffic`` are omitted when unset, so specs predating
+        the fidelity pipeline and the service mode serialize (and hash — see
+        :meth:`canonical_dict`) exactly as they always did.
         """
         payload = asdict(self)
         if self.noise is None:
             payload.pop("noise")
+        if self.traffic is None:
+            payload.pop("traffic")
         return payload
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -401,6 +592,16 @@ class ScenarioSpec:
         """
         return replace(
             self, noise=NoiseSpec.from_dict(noise) if noise is not None else None
+        )
+
+    def with_traffic(self, traffic: Optional[Mapping[str, Any]]) -> "ScenarioSpec":
+        """The same scenario with a (validated) traffic section.
+
+        ``None`` returns the scenario to batch mode; a mapping switches it to
+        open-loop service mode.
+        """
+        return replace(
+            self, traffic=TrafficSpec.from_dict(traffic) if traffic is not None else None
         )
 
     @property

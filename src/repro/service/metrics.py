@@ -1,0 +1,191 @@
+"""Steady-state service metrics, reduced from the request-lifecycle trace.
+
+:class:`SteadyStateCollector` is a trace-bus probe: subscribe it to any bus
+carrying the :data:`repro.trace.REQUEST_KINDS` records and it accumulates the
+classic open-loop service statistics — offered vs. delivered load, request
+completion-time percentiles, per-tenant queue depths and drop rates — without
+the service engine holding any metrics state of its own.  Building on the bus
+(rather than on engine internals) means any consumer of a service trace, the
+golden JSONL fixtures included, can recompute the same summary.
+
+Percentiles use the deterministic nearest-rank definition (no interpolation),
+so p50/p99 are always values that actually occurred and two runs with
+identical traces report bitwise-identical percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..trace.records import (
+    RequestAdmitted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDispatched,
+    RequestDropped,
+    TraceRecord,
+)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 < p <= 100); 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil((p / 100.0) * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant accumulator for the request lifecycle."""
+
+    offered: int = 0
+    offered_channels: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    completed: int = 0
+    completed_channels: int = 0
+    latencies_us: List[float] = field(default_factory=list)
+    waits_us: List[float] = field(default_factory=list)
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat JSON-safe per-tenant summary."""
+        return {
+            "offered": self.offered,
+            "offered_channels": self.offered_channels,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "drop_rate": self.drop_rate,
+            "drop_reasons": dict(sorted(self.drop_reasons.items())),
+            "completed": self.completed,
+            "completed_channels": self.completed_channels,
+            "latency_p50_us": percentile(self.latencies_us, 50),
+            "latency_p99_us": percentile(self.latencies_us, 99),
+            "wait_p50_us": percentile(self.waits_us, 50),
+            "wait_p99_us": percentile(self.waits_us, 99),
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class SteadyStateCollector:
+    """Reduces request-lifecycle records to steady-state service metrics.
+
+    Subscribe with ``bus.subscribe(collector, kinds=REQUEST_KINDS)`` — the
+    collector is a plain probe callable.  ``duration_us`` is the offered-load
+    window (the traffic spec's horizon); delivered load is reported over the
+    actual makespan, which the caller passes to :meth:`summary` because only
+    the engine knows when the queue finally drained.
+    """
+
+    def __init__(self, *, duration_us: float) -> None:
+        self.duration_us = duration_us
+        self.tenants: Dict[str, TenantStats] = {}
+        self.max_queue_depth = 0
+        self._request_tenant: Dict[int, str] = {}
+
+    def _tenant(self, name: str) -> TenantStats:
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = TenantStats()
+            self.tenants[name] = stats
+        return stats
+
+    def __call__(self, record: TraceRecord) -> None:
+        if isinstance(record, RequestArrived):
+            stats = self._tenant(record.tenant)
+            stats.offered += 1
+            stats.offered_channels += record.channels
+            self._request_tenant[record.request_id] = record.tenant
+        elif isinstance(record, RequestAdmitted):
+            stats = self._tenant(record.tenant)
+            stats.admitted += 1
+            stats.max_queue_depth = max(stats.max_queue_depth, record.queue_depth)
+            self.max_queue_depth = max(self.max_queue_depth, record.queue_depth)
+        elif isinstance(record, RequestDropped):
+            stats = self._tenant(record.tenant)
+            stats.dropped += 1
+            stats.drop_reasons[record.reason] = stats.drop_reasons.get(record.reason, 0) + 1
+        elif isinstance(record, RequestDispatched):
+            stats = self._tenant(record.tenant)
+            stats.waits_us.append(record.waited_us)
+        elif isinstance(record, RequestCompleted):
+            stats = self._tenant(record.tenant)
+            stats.completed += 1
+            stats.completed_channels += record.channels
+            stats.latencies_us.append(record.waited_us + record.service_us)
+
+    # -- aggregates -------------------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        return sum(s.offered for s in self.tenants.values())
+
+    @property
+    def admitted(self) -> int:
+        return sum(s.admitted for s in self.tenants.values())
+
+    @property
+    def dropped(self) -> int:
+        return sum(s.dropped for s in self.tenants.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.tenants.values())
+
+    @property
+    def drop_rate(self) -> float:
+        offered = self.offered
+        return self.dropped / offered if offered else 0.0
+
+    def all_latencies_us(self) -> List[float]:
+        merged: List[float] = []
+        for name in sorted(self.tenants):
+            merged.extend(self.tenants[name].latencies_us)
+        return merged
+
+    def all_waits_us(self) -> List[float]:
+        merged: List[float] = []
+        for name in sorted(self.tenants):
+            merged.extend(self.tenants[name].waits_us)
+        return merged
+
+    def summary(self, *, makespan_us: Optional[float] = None) -> Dict[str, Any]:
+        """Flat JSON-safe steady-state summary.
+
+        Offered load is channels per millisecond over the traffic horizon;
+        delivered load is completed channels per millisecond over the actual
+        makespan (defaulting to the horizon when the caller has none).
+        """
+        horizon_ms = self.duration_us / 1000.0
+        span_us = makespan_us if makespan_us is not None and makespan_us > 0 else self.duration_us
+        span_ms = span_us / 1000.0
+        offered_channels = sum(s.offered_channels for s in self.tenants.values())
+        completed_channels = sum(s.completed_channels for s in self.tenants.values())
+        latencies = self.all_latencies_us()
+        waits = self.all_waits_us()
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "completed": self.completed,
+            "drop_rate": self.drop_rate,
+            "offered_channels": offered_channels,
+            "completed_channels": completed_channels,
+            "offered_load_per_ms": offered_channels / horizon_ms if horizon_ms else 0.0,
+            "delivered_load_per_ms": completed_channels / span_ms if span_ms else 0.0,
+            "latency_p50_us": percentile(latencies, 50),
+            "latency_p99_us": percentile(latencies, 99),
+            "wait_p50_us": percentile(waits, 50),
+            "wait_p99_us": percentile(waits, 99),
+            "max_queue_depth": self.max_queue_depth,
+            "tenants": {name: self.tenants[name].summary() for name in sorted(self.tenants)},
+        }

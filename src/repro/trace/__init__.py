@@ -12,6 +12,7 @@ from .bus import Probe, TraceBus
 from .records import (
     CANONICAL_KINDS,
     RECORD_TYPES,
+    REQUEST_KINDS,
     ChannelClosed,
     ChannelFidelity,
     ChannelOpened,
@@ -21,6 +22,11 @@ from .records import (
     OperationIssued,
     OperationRetired,
     PurificationMilestone,
+    RequestAdmitted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDispatched,
+    RequestDropped,
     RunEnded,
     RunStarted,
     TeleportPerformed,
@@ -40,6 +46,7 @@ from .serialize import (
 __all__ = [
     "CANONICAL_KINDS",
     "RECORD_TYPES",
+    "REQUEST_KINDS",
     "ChannelClosed",
     "ChannelFidelity",
     "ChannelOpened",
@@ -50,6 +57,11 @@ __all__ = [
     "OperationRetired",
     "Probe",
     "PurificationMilestone",
+    "RequestAdmitted",
+    "RequestArrived",
+    "RequestCompleted",
+    "RequestDispatched",
+    "RequestDropped",
     "RunEnded",
     "RunStarted",
     "TeleportPerformed",

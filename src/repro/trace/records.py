@@ -154,6 +154,70 @@ class ChannelFidelity(TraceRecord):
 
 
 @dataclass(frozen=True)
+class RequestArrived(TraceRecord):
+    """An open-loop service request entered the system (service mode only).
+
+    One record per request the traffic generator offers, admitted or not:
+    the offered-load side of every steady-state metric.
+    """
+
+    kind: ClassVar[str] = "req_arrive"
+
+    request_id: int
+    tenant: str
+    channels: int
+    source: Tuple[int, int]
+    destination: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(TraceRecord):
+    """The admission controller accepted a request into the service queue."""
+
+    kind: ClassVar[str] = "req_admit"
+
+    request_id: int
+    tenant: str
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RequestDropped(TraceRecord):
+    """The admission controller rejected a request (it is never serviced)."""
+
+    kind: ClassVar[str] = "req_drop"
+
+    request_id: int
+    tenant: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class RequestDispatched(TraceRecord):
+    """A queued request left the scheduler and started on the transport."""
+
+    kind: ClassVar[str] = "req_dispatch"
+
+    request_id: int
+    tenant: str
+    waited_us: float
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RequestCompleted(TraceRecord):
+    """Every channel of a service request finished transiting."""
+
+    kind: ClassVar[str] = "req_complete"
+
+    request_id: int
+    tenant: str
+    channels: int
+    waited_us: float
+    service_us: float
+
+
+@dataclass(frozen=True)
 class FlowRateChanged(TraceRecord):
     """A max-min reallocation changed one flow's service rate."""
 
@@ -207,6 +271,11 @@ RECORD_TYPES: Dict[str, Type[TraceRecord]] = {
         ChannelOpened,
         ChannelClosed,
         ChannelFidelity,
+        RequestArrived,
+        RequestAdmitted,
+        RequestDropped,
+        RequestDispatched,
+        RequestCompleted,
         FlowRateChanged,
         EprPairGenerated,
         PurificationMilestone,
@@ -214,20 +283,35 @@ RECORD_TYPES: Dict[str, Type[TraceRecord]] = {
     )
 }
 
-#: The compact allocator-invariant stream pinned by golden fixtures.
-#: ``fidelity`` records only exist on noise-tracked runs, so fixtures of
-#: scenarios without a ``noise`` section are byte-identical to before the
-#: fidelity pipeline existed.
-CANONICAL_KINDS = frozenset(
+#: Request-lifecycle kinds emitted only by the open-loop service mode.
+REQUEST_KINDS = frozenset(
     {
-        RunStarted.kind,
-        RunEnded.kind,
-        OperationIssued.kind,
-        OperationRetired.kind,
-        ChannelOpened.kind,
-        ChannelClosed.kind,
-        ChannelFidelity.kind,
+        RequestArrived.kind,
+        RequestAdmitted.kind,
+        RequestDropped.kind,
+        RequestDispatched.kind,
+        RequestCompleted.kind,
     }
+)
+
+#: The compact allocator-invariant stream pinned by golden fixtures.
+#: ``fidelity`` records only exist on noise-tracked runs and the request
+#: lifecycle only on service-mode runs, so fixtures of scenarios without a
+#: ``noise``/``traffic`` section are byte-identical to before those
+#: pipelines existed.
+CANONICAL_KINDS = (
+    frozenset(
+        {
+            RunStarted.kind,
+            RunEnded.kind,
+            OperationIssued.kind,
+            OperationRetired.kind,
+            ChannelOpened.kind,
+            ChannelClosed.kind,
+            ChannelFidelity.kind,
+        }
+    )
+    | REQUEST_KINDS
 )
 
 

@@ -32,10 +32,12 @@ _EXPORTS = {
     "compare_backend_runs": "harness",
     "compare_fidelity_runs": "harness",
     "compare_runs": "harness",
+    "compare_traffic_runs": "harness",
     "traced_run": "harness",
     "verify_backends": "harness",
     "verify_fidelity": "harness",
     "verify_scenario": "harness",
+    "verify_traffic": "harness",
 }
 
 __all__ = sorted(_EXPORTS)

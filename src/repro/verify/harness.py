@@ -19,13 +19,18 @@ agreement into a harness:
   transport granularities and their makespans and operation completion
   orders must agree within documented tolerances — the two backends share
   only the scheduler/control loop above the transport contract, so
-  agreement is evidence, not tautology.
+  agreement is evidence, not tautology;
+* :func:`verify_traffic` extends the cross-check to open-loop service mode:
+  both backends are fed the *bitwise identical* request stream (the arrivals
+  are pre-generated from the spec) and must agree on what was offered, what
+  completed, the request completion order (within the documented disorder
+  tolerance) and the delivered load (within the documented ratio).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ScenarioError
 from ..scenarios.run import build_machine, build_stream
@@ -38,9 +43,15 @@ from ..trace import (
     ChannelOpened,
     FlowRateChanged,
     OperationRetired,
+    RequestArrived,
+    RequestCompleted,
+    RequestDropped,
     TraceBus,
     TraceRecord,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.engine import ServiceResult
 
 #: Kinds a differential run records: the canonical stream plus rate changes.
 DIFFERENTIAL_KINDS = frozenset(CANONICAL_KINDS) | {FlowRateChanged.kind}
@@ -87,11 +98,17 @@ def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
 
 @dataclass
 class TracedRun:
-    """One simulated scenario with its trace attached."""
+    """One simulated scenario with its trace attached.
+
+    ``result`` is a :class:`~repro.sim.results.SimulationResult` for batch
+    scenarios and a :class:`~repro.service.engine.ServiceResult` for service
+    scenarios — the comparison helpers only touch the members the two share
+    (``makespan_us``, ``channels``, ``resource_utilisation``, counts).
+    """
 
     spec: ScenarioSpec
     allocator: str
-    result: SimulationResult
+    result: Union[SimulationResult, "ServiceResult"]
     records: List[TraceRecord]
     backend: str = "fluid"
 
@@ -114,14 +131,29 @@ def traced_run(
 
     ``allocator`` and ``backend`` override the spec's runtime choices;
     ``kinds`` limits which record kinds are kept (default: the differential
-    set — canonical plus flow-rate changes).
+    set — canonical plus flow-rate changes).  A spec with a ``traffic``
+    section runs through the open-loop service simulator; everything else
+    runs the workload's instruction stream through the batch simulator.
     """
     spec = _as_spec(spec)
     allocator = allocator or spec.runtime.allocator
     backend = backend or spec.runtime.backend
     machine = build_machine(spec)
-    stream = build_stream(spec)
     bus = TraceBus(kinds=DIFFERENTIAL_KINDS if kinds is None else kinds)
+    if spec.traffic is not None:
+        from ..service import ServiceSimulator
+
+        service_result = ServiceSimulator(machine, allocator=allocator, backend=backend).run(
+            spec.traffic, trace=bus
+        )
+        return TracedRun(
+            spec=spec,
+            allocator=allocator,
+            result=service_result,
+            records=bus.records,
+            backend=backend,
+        )
+    stream = build_stream(spec)
     result = CommunicationSimulator(machine, allocator=allocator, backend=backend).run(
         stream, max_events=spec.runtime.max_events, trace=bus
     )
@@ -197,6 +229,11 @@ def compare_runs(a: TracedRun, b: TracedRun) -> List[Divergence]:
         (ChannelOpened.kind, "channel_open_timeline"),
         (ChannelClosed.kind, "channel_close_timeline"),
         (FlowRateChanged.kind, "rate_timeline"),
+        # Request lifecycles only exist on service runs; on batch runs both
+        # sides are empty and the comparison is vacuously bitwise.
+        (RequestArrived.kind, "request_arrival_timeline"),
+        (RequestDropped.kind, "request_drop_timeline"),
+        (RequestCompleted.kind, "request_completion_timeline"),
     ):
         recs_a, recs_b = a.of_kind(kind), b.of_kind(kind)
         if recs_a != recs_b:
@@ -520,6 +557,161 @@ def verify_fidelity(
         divergences.extend(
             compare_fidelity_runs(
                 baseline, traced_run(spec, backend=other), tolerance=tolerance
+            )
+        )
+    return divergences
+
+
+# -- traffic parity -----------------------------------------------------------------
+
+
+def _request_completion_order(run: TracedRun) -> List[int]:
+    return [record.request_id for record in run.of_kind(RequestCompleted.kind)]
+
+
+def _delivered_load_per_ms(run: TracedRun) -> float:
+    """Delivered channel-load, recomputed from the trace alone."""
+    channels = sum(record.channels for record in run.of_kind(RequestCompleted.kind))
+    if run.makespan_us <= 0:
+        return 0.0
+    return channels / run.makespan_us * 1000.0
+
+
+def compare_traffic_runs(
+    a: TracedRun,
+    b: TracedRun,
+    *,
+    makespan_ratio: float = BACKEND_MAKESPAN_RATIO,
+    order_tolerance: float = BACKEND_ORDER_TOLERANCE,
+) -> List[Divergence]:
+    """Diff two service runs of one scenario on different backends.
+
+    The offered load is pre-generated from the spec, so the arrival record
+    streams must be *bitwise identical* — any difference means the backends
+    were not fed the same traffic and the rest of the comparison is
+    meaningless.  Given identical offers, the two backends must drop and
+    complete the same request populations, complete them in nearly the same
+    order (``order_tolerance`` normalized pairwise inversions) and deliver
+    load at rates whose ratio stays within ``makespan_ratio``.
+    """
+    name = a.spec.name
+    divergences: List[Divergence] = []
+
+    arrivals_a, arrivals_b = a.of_kind(RequestArrived.kind), b.of_kind(RequestArrived.kind)
+    if arrivals_a != arrivals_b:
+        first = next(
+            (i for i, (x, y) in enumerate(zip(arrivals_a, arrivals_b)) if x != y),
+            min(len(arrivals_a), len(arrivals_b)),
+        )
+        got = arrivals_a[first] if first < len(arrivals_a) else "<missing>"
+        want = arrivals_b[first] if first < len(arrivals_b) else "<missing>"
+        divergences.append(
+            Divergence(
+                name,
+                "traffic_arrivals",
+                f"offered streams differ ({len(arrivals_a)} vs {len(arrivals_b)} "
+                f"arrivals); first difference at index {first}: {got} vs {want}",
+            )
+        )
+        return divergences
+
+    drops_a = {record.request_id for record in a.of_kind(RequestDropped.kind)}
+    drops_b = {record.request_id for record in b.of_kind(RequestDropped.kind)}
+    if drops_a != drops_b:
+        divergences.append(
+            Divergence(
+                name,
+                "traffic_drop_set",
+                f"dropped requests differ: {sorted(drops_a ^ drops_b)} "
+                f"({len(drops_a)} on {a.backend} vs {len(drops_b)} on {b.backend})",
+            )
+        )
+
+    order_a, order_b = _request_completion_order(a), _request_completion_order(b)
+    if sorted(order_a) != sorted(order_b):
+        divergences.append(
+            Divergence(
+                name,
+                "traffic_completion_set",
+                f"completed requests differ: {len(order_a)} ({a.backend}) "
+                f"vs {len(order_b)} ({b.backend})",
+            )
+        )
+    else:
+        disorder = _order_distance(order_a, order_b)
+        if disorder > order_tolerance:
+            divergences.append(
+                Divergence(
+                    name,
+                    "traffic_completion_order",
+                    f"request completion orders differ by {disorder:.3f} normalized "
+                    f"inversions (tolerance {order_tolerance:g})",
+                )
+            )
+
+    load_a, load_b = _delivered_load_per_ms(a), _delivered_load_per_ms(b)
+    if load_a <= 0 or load_b <= 0:
+        divergences.append(
+            Divergence(
+                name,
+                "traffic_delivered_load",
+                f"non-positive delivered load: {a.backend}={load_a!r} "
+                f"vs {b.backend}={load_b!r}",
+            )
+        )
+    else:
+        ratio = load_b / load_a
+        if not (1.0 / makespan_ratio <= ratio <= makespan_ratio):
+            divergences.append(
+                Divergence(
+                    name,
+                    "traffic_delivered_load",
+                    f"{a.backend}={load_a:.3f}/ms vs {b.backend}={load_b:.3f}/ms "
+                    f"(ratio {ratio:.3f} outside 1/{makespan_ratio:g}..{makespan_ratio:g})",
+                )
+            )
+    return divergences
+
+
+def verify_traffic(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    *,
+    backends: Sequence[str] = BACKEND_NAMES,
+    makespan_ratio: float = BACKEND_MAKESPAN_RATIO,
+    order_tolerance: float = BACKEND_ORDER_TOLERANCE,
+) -> List[Divergence]:
+    """Fluid-vs-detailed parity for one open-loop service scenario.
+
+    Requires a spec with a ``traffic`` section.  The scenario is replayed
+    under every backend with the identical pre-generated request stream and
+    the runs are diffed pairwise against the first backend (see
+    :func:`compare_traffic_runs`).
+    """
+    spec = _as_spec(spec)
+    if spec.traffic is None:
+        raise ScenarioError(
+            f"scenario {spec.name!r} has no traffic section; "
+            "the traffic parity check needs an open-loop service scenario"
+        )
+    backends = tuple(backends)
+    if len(backends) < 2:
+        raise ScenarioError(
+            f"the traffic parity check needs at least two backends, got {list(backends)}"
+        )
+    unknown = sorted(set(backends) - set(BACKEND_NAMES))
+    if unknown:
+        raise ScenarioError(
+            f"unknown backends {unknown}; available: {sorted(BACKEND_NAMES)}"
+        )
+    baseline = traced_run(spec, backend=backends[0])
+    divergences: List[Divergence] = []
+    for other in backends[1:]:
+        divergences.extend(
+            compare_traffic_runs(
+                baseline,
+                traced_run(spec, backend=other),
+                makespan_ratio=makespan_ratio,
+                order_tolerance=order_tolerance,
             )
         )
     return divergences

@@ -7,7 +7,7 @@ from repro.analysis.fidelity_bandwidth import (
     scenario_fidelity_table,
 )
 from repro.errors import ConfigurationError
-from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios import get_scenario, run_record
 
 
 class TestTradeoffFigure:
@@ -44,7 +44,7 @@ class TestTradeoffFigure:
 
 class TestScenarioTable:
     def test_only_noise_tracked_records_enter(self):
-        records = [run_scenario(get_scenario("smoke")), run_scenario(get_scenario("smoke_noisy"))]
+        records = [run_record(get_scenario("smoke")), run_record(get_scenario("smoke_noisy"))]
         table = scenario_fidelity_table(records)
         assert len(table.rows) == 1
         row = table.rows[0]

@@ -1,0 +1,118 @@
+"""Property tests: arrival-stream determinism and admission invariants.
+
+The service mode's contract with the verify harness is that the *offered*
+side of a run is a pure function of the traffic spec: the same spec must
+yield a bitwise-identical request stream in any process, and the admission
+layer may only ever shrink it (admitted <= offered), with the token bucket
+never letting more than ``burst`` requests through any instantaneous burst.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.geometry import Coordinate
+from repro.scenarios.spec import TrafficSpec
+from repro.service.admission import TokenBucket, create_admission
+from repro.service.arrivals import ServiceRequest, generate_requests
+from repro.sim import QuantumMachine
+
+NODES = list(QuantumMachine(4).topology.nodes())
+
+tenant_strategy = st.fixed_dictionaries(
+    {
+        "arrival_process": st.sampled_from(["poisson", "fixed", "mmpp"]),
+        "mean_interarrival_us": st.floats(min_value=50.0, max_value=2000.0),
+        "size_dist": st.sampled_from(["constant", "pareto"]),
+        "channels": st.integers(min_value=1, max_value=3),
+        "max_channels": st.just(6),
+        "priority": st.integers(min_value=0, max_value=3),
+    }
+)
+
+traffic_strategy = st.builds(
+    lambda tenants, seed, duration: TrafficSpec.from_dict(
+        {"duration_us": duration, "seed": seed, "tenants": tenants}
+    ),
+    tenants=st.dictionaries(
+        st.sampled_from(["alpha", "beta", "gamma"]),
+        tenant_strategy,
+        min_size=1,
+        max_size=3,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+    duration=st.floats(min_value=500.0, max_value=8000.0),
+)
+
+
+class TestArrivalDeterminism:
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_same_spec_yields_bitwise_identical_streams(self, traffic):
+        first = generate_requests(traffic, NODES)
+        second = generate_requests(traffic, NODES)
+        assert first == second
+
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_streams_are_well_formed(self, traffic):
+        requests = generate_requests(traffic, NODES)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        for request in requests:
+            assert 0.0 < request.arrival_us < traffic.duration_us
+            assert 1 <= request.channels <= traffic.tenants[request.tenant].max_channels
+            assert request.source != request.dest
+        arrivals = [r.arrival_us for r in requests]
+        assert arrivals == sorted(arrivals)
+
+
+def _offer(policy, arrivals_us):
+    """Feed a monotone arrival sequence through ``policy``; count admissions."""
+    request = ServiceRequest(
+        request_id=0,
+        tenant="t",
+        arrival_us=0.0,
+        channels=1,
+        source=Coordinate(0, 0),
+        dest=Coordinate(1, 0),
+    )
+    admitted = 0
+    for now_us in arrivals_us:
+        if policy.admit(request, now_us=now_us, queue_depth=0) is None:
+            admitted += 1
+    return admitted
+
+
+arrival_times = st.lists(
+    st.floats(min_value=0.0, max_value=50_000.0), min_size=1, max_size=200
+).map(sorted)
+
+
+class TestAdmissionInvariants:
+    @given(
+        arrivals=arrival_times,
+        name=st.sampled_from(["always", "token_bucket", "queue_bound"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admitted_never_exceeds_offered(self, arrivals, name):
+        policy = create_admission(name, rate_per_ms=2.0, burst=4, queue_limit=8)
+        assert 0 <= _offer(policy, arrivals) <= len(arrivals)
+
+    @given(
+        arrivals=arrival_times,
+        burst=st.integers(min_value=1, max_value=10),
+        rate=st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_token_bucket_instantaneous_burst_is_bounded(self, arrivals, burst, rate):
+        # Over any run the bucket can admit at most burst + refill(elapsed)
+        # requests; for a same-instant burst that bound is exactly ``burst``.
+        policy = TokenBucket(rate_per_ms=rate, burst=burst)
+        span_ms = (arrivals[-1] - arrivals[0]) / 1000.0 if len(arrivals) > 1 else 0.0
+        admitted = _offer(policy, arrivals)
+        assert admitted <= burst + int(span_ms * rate) + 1
+
+    @given(burst=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_token_bucket_same_instant_admits_exactly_burst(self, burst):
+        policy = TokenBucket(rate_per_ms=1.0, burst=burst)
+        assert _offer(policy, [0.0] * (burst * 3)) == burst

@@ -1,0 +1,119 @@
+"""The noun-verb CLI surface: serve, --format json, and deprecated aliases."""
+
+import json
+
+from repro.runtime.cli import main
+
+
+class TestServe:
+    def test_serve_catalog_scenario_text_report(self, capsys):
+        assert main(["serve", "--scenario", "service_smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "offered" in out
+        assert "p99" in out
+        assert "drop rate" in out
+        assert "bulk" in out and "latency" in out
+
+    def test_serve_json_report_is_the_typed_result(self, capsys):
+        assert main(["serve", "--scenario", "service_smoke", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "service"
+        assert payload["batch"] is None
+        assert payload["service"]["offered"] > 0
+        assert payload["service"]["admitted"] + payload["service"]["dropped"] == (
+            payload["service"]["offered"]
+        )
+
+    def test_serve_backend_override(self, capsys):
+        assert main(
+            ["serve", "--scenario", "service_smoke", "--backend", "detailed",
+             "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["backend"] == "detailed"
+
+    def test_serve_spec_file(self, tmp_path, capsys):
+        from repro.scenarios import get_scenario
+
+        path = tmp_path / "svc.json"
+        path.write_text(json.dumps(get_scenario("service_smoke").to_dict()))
+        assert main(["serve", "--spec", str(path)]) == 0
+        assert "offered" in capsys.readouterr().out
+
+    def test_serve_requires_exactly_one_source(self, capsys):
+        assert main(["serve"]) == 2
+        err = capsys.readouterr().err
+        assert "--scenario" in err and "--spec" in err
+        assert main(["serve", "--scenario", "a", "--spec", "b"]) == 2
+
+    def test_serve_rejects_batch_scenarios(self, capsys):
+        assert main(["serve", "--scenario", "smoke"]) == 2
+        assert "traffic" in capsys.readouterr().err
+
+    def test_serve_emit_bench_records_service_columns(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        assert main(
+            ["serve", "--scenario", "service_smoke", "--emit-bench", str(bench)]
+        ) == 0
+        payload = json.loads(bench.read_text())
+        (record,) = payload["scenarios"]
+        assert record["name"] == "service_smoke"
+        assert record["cached"] is False
+        assert "latency_p99_us" in record and "drop_rate" in record
+
+
+class TestFormatOption:
+    def test_scenarios_run_format_json(self, tmp_path, capsys):
+        assert main(
+            ["scenarios", "run", "smoke", "--format", "json",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [record["name"] for record in records] == ["smoke"]
+
+    def test_scenarios_list_format_json(self, capsys):
+        assert main(["scenarios", "list", "--format", "json"]) == 0
+        names = [entry["name"] for entry in json.loads(capsys.readouterr().out)]
+        assert "smoke" in names and "service_smoke" in names
+
+    def test_mixed_batch_and_service_table(self, tmp_path, capsys):
+        assert main(
+            ["scenarios", "run", "smoke", "service_smoke",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "p99=" in out  # the service row renders steady-state columns
+
+
+class TestDeprecatedAliases:
+    def test_legacy_list_warns_but_keeps_stdout(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        modern = capsys.readouterr()
+        assert main(["list"]) == 0
+        legacy = capsys.readouterr()
+        assert legacy.out == modern.out
+        assert "deprecated" in legacy.err
+        assert "deprecated" not in modern.err
+
+    def test_legacy_run_warns_but_keeps_stdout(self, tmp_path, capsys):
+        assert main(["experiments", "run", "table1", "--cache-dir", str(tmp_path)]) == 0
+        modern = capsys.readouterr()
+        assert main(["run", "table1", "--cache-dir", str(tmp_path)]) == 0
+        legacy = capsys.readouterr()
+        assert legacy.out == modern.out
+        assert "deprecated" in legacy.err
+
+    def test_legacy_aliases_are_hidden_from_help(self, capsys):
+        try:
+            main(["--help"])
+        except SystemExit:
+            pass
+        help_text = capsys.readouterr().out
+        assert "experiments" in help_text
+        assert "serve" in help_text
+        # The usage metavar lists only the public nouns.
+        assert "{backends,experiments,scenarios,serve,verify,lint}" in help_text
+        for line in help_text.splitlines():
+            stripped = line.strip()
+            assert not stripped.startswith("list "), line
+            assert stripped != "list"

@@ -4,7 +4,7 @@ The stochastic workload generators draw from SHA-256-derived named
 substreams (:mod:`repro.workloads.rng`), so nothing about a scenario's
 outcome depends on process identity, hash randomization or global RNG state.
 These tests pin that at three levels: the substream service itself, repeated
-in-process ``run_scenario`` calls, and a fresh interpreter with hash
+in-process ``run_record`` calls, and a fresh interpreter with hash
 randomization forced to a different value.
 """
 
@@ -13,7 +13,7 @@ import os
 import subprocess
 import sys
 
-from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios import get_scenario, run_record
 from repro.trace import trace_fingerprint
 from repro.verify import traced_run
 from repro.workloads.rng import substream_rng, substream_seed
@@ -50,10 +50,10 @@ class TestSubstreamService:
 
 
 class TestScenarioDeterminism:
-    def test_two_independent_run_scenario_calls_agree(self):
+    def test_two_independent_run_record_calls_agree(self):
         spec = get_scenario(STOCHASTIC_SCENARIO)
-        first = run_scenario(spec)
-        second = run_scenario(spec)
+        first = run_record(spec)
+        second = run_record(spec)
         assert first["makespan_us"] == second["makespan_us"]
         assert first["channel_count"] == second["channel_count"]
         assert first["utilisation"] == second["utilisation"]

@@ -13,7 +13,7 @@ from repro.scenarios import (
     build_stream,
     default_grid,
     get_scenario,
-    run_scenario,
+    run_record,
 )
 
 
@@ -48,7 +48,7 @@ class TestBuild:
 class TestRunScenario:
     def test_round_trip_spec_build_run_results(self):
         spec = get_scenario("smoke")
-        record = run_scenario(spec)
+        record = run_record(spec)
         assert record["name"] == "smoke"
         assert record["spec_hash"] == spec.spec_hash
         assert record["makespan_us"] > 0
@@ -60,19 +60,19 @@ class TestRunScenario:
         assert ScenarioSpec.from_dict(record["spec"]) == spec
 
     def test_accepts_plain_mapping(self):
-        record = run_scenario(get_scenario("smoke").to_dict())
+        record = run_record(get_scenario("smoke").to_dict())
         assert record["name"] == "smoke"
 
     def test_qubits_must_fit_fabric(self):
         spec_dict = get_scenario("ring_qft").to_dict()
         spec_dict["workload"]["num_qubits"] = 10  # ring has 9 nodes
         with pytest.raises(ConfigurationError, match="do not fit"):
-            run_scenario(spec_dict)
+            run_record(spec_dict)
 
     def test_wrap_fabric_shortens_makespan(self):
         # Same workload and physics; the ring's wrap links shorten the mean
         # channel, so it must not be slower than the line.
-        line = run_scenario(
+        line = run_record(
             ScenarioSpec.from_dict(
                 {
                     "name": "l",
@@ -81,7 +81,7 @@ class TestRunScenario:
                 }
             )
         )
-        ring = run_scenario(
+        ring = run_record(
             ScenarioSpec.from_dict(
                 {
                     "name": "r",
@@ -101,7 +101,7 @@ class TestRunScenario:
             for allocator in ("incremental", "reference"):
                 data = json.loads(json.dumps(base))
                 data["runtime"]["allocator"] = allocator
-                makespans[allocator] = run_scenario(data)["makespan_us"]
+                makespans[allocator] = run_record(data)["makespan_us"]
             assert makespans["incremental"] == pytest.approx(
                 makespans["reference"], abs=1e-6
             )
@@ -112,9 +112,9 @@ class TestRunnerIntegration:
         specs = default_grid(("mesh", "ring"), ("permutation",))
         runner = ExperimentRunner(workers=2, cache_dir=str(tmp_path))
         grid = [{"spec": spec.to_dict()} for spec in specs]
-        first = runner.sweep_records(run_scenario, grid)
+        first = runner.sweep_records(run_record, grid)
         assert [p.cached for p in first] == [False, False]
-        second = runner.sweep_records(run_scenario, grid)
+        second = runner.sweep_records(run_record, grid)
         assert [p.cached for p in second] == [True, True]
         assert [p.result["makespan_us"] for p in second] == [
             p.result["makespan_us"] for p in first
@@ -124,10 +124,10 @@ class TestRunnerIntegration:
         spec = get_scenario("smoke")
         runner = ExperimentRunner(cache_dir=str(tmp_path))
         grid = [{"spec": spec.to_dict()}]
-        (point,) = runner.sweep_records(run_scenario, grid)
+        (point,) = runner.sweep_records(run_record, grid)
         with open(runner.cache.path_for(point.cache_key), "wb") as handle:
             handle.write(b"truncated")
-        (again,) = runner.sweep_records(run_scenario, grid)
+        (again,) = runner.sweep_records(run_record, grid)
         # The entry existed on disk but could not be served: the point must
         # report a recompute, not a hit (the bench trajectory depends on it).
         assert not again.cached

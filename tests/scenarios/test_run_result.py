@@ -1,0 +1,143 @@
+"""The typed RunResult surface: round-trip, views, and the deprecated shim."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import get_scenario, run, run_record, run_scenario
+from repro.scenarios.run import (
+    RESULT_SCHEMA_VERSION,
+    SERVICE_SCHEMA_VERSION,
+    BatchView,
+    RunResult,
+    ServiceView,
+)
+
+
+class TestBatchRunResult:
+    def test_batch_run_populates_exactly_the_batch_view(self):
+        result = run(get_scenario("smoke"))
+        assert result.mode == "batch"
+        assert result.schema == RESULT_SCHEMA_VERSION
+        assert result.batch is not None and result.service is None
+        assert result.batch.operations > 0
+        assert result.makespan_us == result.batch.makespan_us
+
+    def test_json_round_trip_is_exact(self):
+        result = run(get_scenario("smoke"))
+        rebuilt = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_flat_record_matches_run_record(self):
+        spec = get_scenario("smoke")
+        flat = run(spec).flat_record()
+        record = run_record(spec)
+        # wall_time_s is the only nondeterministic column.
+        flat.pop("wall_time_s")
+        record.pop("wall_time_s")
+        assert flat == record
+        assert "offered" not in record  # batch records carry no service columns
+
+    def test_flat_record_preserves_historical_key_order(self):
+        record = run_record(get_scenario("smoke"))
+        assert list(record)[:5] == ["schema", "name", "label", "spec_hash", "spec"]
+        assert list(record)[-1] == "wall_time_s"
+
+
+class TestServiceRunResult:
+    def test_service_run_populates_exactly_the_service_view(self):
+        result = run(get_scenario("service_smoke"))
+        assert result.mode == "service"
+        assert result.schema == SERVICE_SCHEMA_VERSION
+        assert result.service is not None and result.batch is None
+        view = result.service
+        assert view.offered > 0
+        assert view.admitted + view.dropped == view.offered
+        assert view.completed == view.admitted
+        assert 0.0 <= view.drop_rate <= 1.0
+        assert sorted(view.tenants) == ["bulk", "latency"]
+
+    def test_json_round_trip_is_exact(self):
+        result = run(get_scenario("service_smoke"))
+        rebuilt = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_flat_record_carries_the_steady_state_columns(self):
+        record = run_record(get_scenario("service_smoke"))
+        for key in (
+            "offered",
+            "drop_rate",
+            "latency_p99_us",
+            "delivered_load_per_ms",
+            "max_queue_depth",
+            "tenants",
+        ):
+            assert key in record, key
+        assert record["schema"] == SERVICE_SCHEMA_VERSION
+        assert "operations" not in record
+
+
+class TestViewExclusivity:
+    def _envelope_kwargs(self):
+        return dict(
+            schema=2,
+            name="x",
+            label="x",
+            spec_hash="0" * 16,
+            spec={},
+            machine="m",
+            workload="w",
+            topology_kind="mesh",
+            layout="home_base",
+            allocator="incremental",
+            backend="fluid",
+            wall_time_s=0.0,
+        )
+
+    def test_runresult_requires_exactly_one_view(self):
+        batch = BatchView(
+            operations=1, channel_count=1, total_hops=1, makespan_us=1.0,
+            classical_messages=None,
+        )
+        service = ServiceView(
+            duration_us=1.0, makespan_us=1.0, offered=1, admitted=1, dropped=0,
+            completed=1, drop_rate=0.0, offered_load_per_ms=1.0,
+            delivered_load_per_ms=1.0, latency_p50_us=1.0, latency_p99_us=1.0,
+            wait_p50_us=0.0, wait_p99_us=0.0, max_queue_depth=1,
+        )
+        with pytest.raises(ScenarioError, match="batch XOR service"):
+            RunResult(**self._envelope_kwargs())
+        with pytest.raises(ScenarioError, match="batch XOR service"):
+            RunResult(**self._envelope_kwargs(), batch=batch, service=service)
+
+
+class TestDeprecatedShim:
+    def test_run_scenario_warns_and_matches_run_record(self):
+        spec = get_scenario("smoke")
+        with pytest.warns(DeprecationWarning, match="run_scenario"):
+            legacy = run_scenario(spec)
+        fresh = run_record(spec)
+        legacy.pop("wall_time_s")
+        fresh.pop("wall_time_s")
+        assert legacy == fresh
+        assert list(legacy) == list(fresh)
+
+    def test_run_record_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_record(get_scenario("smoke"))
+
+
+class TestSpecHashStability:
+    def test_traffic_section_changes_the_hash_absence_does_not(self):
+        base = get_scenario("smoke")
+        service = get_scenario("service_smoke")
+        assert "traffic" not in base.to_dict()
+        assert service.spec_hash != base.spec_hash
+        stripped = service.with_traffic(None)
+        assert "traffic" not in stripped.to_dict()

@@ -1,0 +1,131 @@
+"""ServiceSimulator end-to-end: conservation, determinism, backend parity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import get_scenario
+from repro.scenarios.run import build_machine
+from repro.scenarios.spec import TrafficSpec
+from repro.service import ServiceResult, ServiceSimulator, completion_time_percentiles
+from repro.trace import CANONICAL_KINDS, TraceBus
+
+TRAFFIC = TrafficSpec.from_dict(
+    {
+        "duration_us": 3000.0,
+        "seed": 4,
+        "max_inflight": 2,
+        "tenants": {
+            "alpha": {"arrival_process": "poisson", "mean_interarrival_us": 500.0},
+            "beta": {"arrival_process": "fixed", "mean_interarrival_us": 800.0},
+        },
+    }
+)
+
+
+def _machine():
+    return build_machine(get_scenario("smoke"))
+
+
+def _run(traffic=TRAFFIC, *, backend="fluid", trace=None):
+    return ServiceSimulator(_machine(), backend=backend).run(traffic, trace=trace)
+
+
+class TestServiceRun:
+    def test_lifecycle_conservation_with_always_admit(self):
+        result = _run()
+        metrics = result.metrics
+        assert result.offered > 0
+        assert result.admitted == result.offered
+        assert result.dropped == 0
+        assert result.completed == result.admitted
+        assert metrics["completed_channels"] == metrics["offered_channels"]
+        assert result.channel_count == metrics["completed_channels"]
+
+    def test_makespan_covers_the_drain(self):
+        result = _run()
+        assert result.makespan_us >= result.duration_us or result.completed == 0
+        assert result.delivered_fidelities() == []  # smoke has no noise section
+
+    def test_completion_order_is_deterministic(self):
+        first = _run()
+        second = _run()
+        assert first.completion_order == second.completion_order
+        assert first.metrics == second.metrics
+
+    def test_both_backends_complete_the_same_requests(self):
+        fluid = _run(backend="fluid")
+        detailed = _run(backend="detailed")
+        assert fluid.backend == "fluid"
+        assert detailed.backend == "detailed"
+        assert sorted(fluid.completion_order) == sorted(detailed.completion_order)
+        assert fluid.metrics["offered"] == detailed.metrics["offered"]
+
+    def test_queue_bound_admission_drops_under_pressure(self):
+        traffic = TrafficSpec.from_dict(
+            {
+                "duration_us": 3000.0,
+                "seed": 4,
+                "max_inflight": 1,
+                "admission": "queue_bound",
+                "queue_limit": 1,
+                "tenants": {
+                    "hot": {"arrival_process": "fixed", "mean_interarrival_us": 40.0}
+                },
+            }
+        )
+        result = _run(traffic)
+        assert result.dropped > 0
+        assert result.admitted + result.dropped == result.offered
+        assert result.completed == result.admitted
+        reasons = result.metrics["tenants"]["hot"]["drop_reasons"]
+        assert reasons == {"queue_full": result.dropped}
+
+    def test_trace_bus_must_accept_request_kinds(self):
+        narrow = TraceBus(kinds=("run_end",), keep_records=False)
+        with pytest.raises(ConfigurationError, match="request-lifecycle"):
+            _run(trace=narrow)
+
+    def test_canonical_bus_carries_the_request_lifecycle(self):
+        bus = TraceBus(kinds=CANONICAL_KINDS)
+        result = _run(trace=bus)
+        kinds = {record.kind for record in bus.records}
+        assert {"req_arrive", "req_admit", "req_dispatch", "req_complete"} <= kinds
+        arrivals = [r for r in bus.records if r.kind == "req_arrive"]
+        assert len(arrivals) == result.offered
+
+    def test_result_duck_types_simulation_result(self):
+        # The verify harness and CLI lean on these SimulationResult fields.
+        result = _run()
+        assert isinstance(result, ServiceResult)
+        assert result.operation_count == result.completed
+        assert result.channel_count == len(result.channels)
+        assert result.resource_utilisation
+        assert all(0.0 <= v <= 1.0 for v in result.resource_utilisation.values())
+        assert result.fidelity_summary() is None
+        assert "requests" in result.metadata
+
+    def test_percentile_helper_matches_metrics(self):
+        result = _run()
+        p50, p99 = completion_time_percentiles(result)
+        assert p50 == result.metrics["latency_p50_us"]
+        assert p99 == result.metrics["latency_p99_us"]
+        assert 0.0 < p50 <= p99
+
+    def test_describe_renders_the_steady_state(self):
+        text = _run().describe()
+        assert "offered load" in text
+        assert "alpha" in text and "beta" in text
+
+
+class TestNoiseTrackedService:
+    def test_noise_section_yields_fidelity_summary(self):
+        spec = get_scenario("service_smoke")
+        assert spec.traffic is not None
+        machine = build_machine(spec)
+        result = ServiceSimulator(machine).run(spec.traffic)
+        summary = result.fidelity_summary()
+        if machine.track_fidelity:
+            assert summary is not None
+            assert 0.0 < summary["min"] <= summary["mean"] <= 1.0
+        else:
+            assert summary is None

@@ -1,0 +1,112 @@
+"""Steady-state metrics: nearest-rank percentiles and trace-driven reduction."""
+
+from repro.service.metrics import SteadyStateCollector, percentile
+from repro.trace import (
+    REQUEST_KINDS,
+    RequestAdmitted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDispatched,
+    RequestDropped,
+    TraceBus,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_nearest_rank_returns_observed_values(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 99) == 40.0
+        assert percentile(values, 1) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile([1.0, 2.0, 3.0], 50)
+
+    def test_single_value_is_every_percentile(self):
+        assert percentile([7.5], 1) == 7.5
+        assert percentile([7.5], 99) == 7.5
+
+
+def _feed(collector):
+    """Two tenants: 'a' completes two requests, 'b' offers one and drops it."""
+    records = [
+        RequestArrived(t_us=0.0, request_id=0, tenant="a", channels=2,
+                       source=(0, 0), destination=(1, 0)),
+        RequestAdmitted(t_us=0.0, request_id=0, tenant="a", queue_depth=1),
+        RequestArrived(t_us=10.0, request_id=1, tenant="b", channels=1,
+                       source=(0, 0), destination=(1, 0)),
+        RequestDropped(t_us=10.0, request_id=1, tenant="b", reason="rate_limited"),
+        RequestArrived(t_us=20.0, request_id=2, tenant="a", channels=1,
+                       source=(0, 0), destination=(1, 0)),
+        RequestAdmitted(t_us=20.0, request_id=2, tenant="a", queue_depth=2),
+        RequestDispatched(t_us=30.0, request_id=0, tenant="a", waited_us=30.0,
+                          queue_depth=1),
+        RequestCompleted(t_us=130.0, request_id=0, tenant="a", channels=2,
+                         waited_us=30.0, service_us=100.0),
+        RequestDispatched(t_us=130.0, request_id=2, tenant="a", waited_us=110.0,
+                          queue_depth=0),
+        RequestCompleted(t_us=330.0, request_id=2, tenant="a", channels=1,
+                         waited_us=110.0, service_us=200.0),
+    ]
+    for record in records:
+        collector(record)
+
+
+class TestSteadyStateCollector:
+    def test_lifecycle_counters(self):
+        collector = SteadyStateCollector(duration_us=1000.0)
+        _feed(collector)
+        assert collector.offered == 3
+        assert collector.admitted == 2
+        assert collector.dropped == 1
+        assert collector.completed == 2
+        assert collector.drop_rate == 1 / 3
+        assert collector.max_queue_depth == 2
+
+    def test_summary_loads_and_percentiles(self):
+        collector = SteadyStateCollector(duration_us=1000.0)
+        _feed(collector)
+        summary = collector.summary(makespan_us=2000.0)
+        # 4 channels offered over the 1 ms horizon; 3 delivered over 2 ms.
+        assert summary["offered_channels"] == 4
+        assert summary["completed_channels"] == 3
+        assert summary["offered_load_per_ms"] == 4.0
+        assert summary["delivered_load_per_ms"] == 1.5
+        assert summary["latency_p50_us"] == 130.0
+        assert summary["latency_p99_us"] == 310.0
+        assert summary["wait_p50_us"] == 30.0
+        assert summary["wait_p99_us"] == 110.0
+
+    def test_summary_defaults_span_to_horizon(self):
+        collector = SteadyStateCollector(duration_us=1000.0)
+        _feed(collector)
+        assert collector.summary()["delivered_load_per_ms"] == 3.0
+        assert collector.summary(makespan_us=0.0)["delivered_load_per_ms"] == 3.0
+
+    def test_per_tenant_summaries(self):
+        collector = SteadyStateCollector(duration_us=1000.0)
+        _feed(collector)
+        tenants = collector.summary(makespan_us=2000.0)["tenants"]
+        assert sorted(tenants) == ["a", "b"]
+        assert tenants["a"]["offered"] == 2
+        assert tenants["a"]["completed"] == 2
+        assert tenants["a"]["drop_rate"] == 0.0
+        assert tenants["b"]["offered"] == 1
+        assert tenants["b"]["dropped"] == 1
+        assert tenants["b"]["drop_rate"] == 1.0
+        assert tenants["b"]["drop_reasons"] == {"rate_limited": 1}
+        assert tenants["b"]["latency_p50_us"] == 0.0
+
+    def test_collector_subscribes_to_a_trace_bus(self):
+        # The collector is a plain probe: wiring it through a bus filtered to
+        # the request kinds must reduce to the same counters as direct calls.
+        bus = TraceBus(kinds=REQUEST_KINDS, keep_records=False)
+        collector = SteadyStateCollector(duration_us=1000.0)
+        bus.subscribe(collector, kinds=REQUEST_KINDS)
+        direct = SteadyStateCollector(duration_us=1000.0)
+        _feed(direct)
+        _feed(bus.emit)
+        assert collector.summary() == direct.summary()

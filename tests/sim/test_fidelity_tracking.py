@@ -12,7 +12,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.physics.purification import get_protocol
 from repro.physics.states import BellDiagonalState
-from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios import get_scenario, run_record
 from repro.scenarios.run import build_machine, build_stream
 from repro.sim.engine import SimulationEngine
 from repro.sim.fidelity import ChannelFidelityModel
@@ -167,11 +167,11 @@ class TestRunLevelAccounting:
         CommunicationSimulator(build_machine(spec)).run(build_stream(spec), trace=bus)
         assert not bus.filtered([ChannelFidelity.kind])
 
-    def test_run_scenario_record_carries_noise_and_fidelity(self):
-        record = run_scenario(get_scenario("smoke_noisy"))
+    def test_run_record_record_carries_noise_and_fidelity(self):
+        record = run_record(get_scenario("smoke_noisy"))
         assert record["noise"]["base_fidelity"] == pytest.approx(0.999)
         assert record["fidelity"]["below_target"] == 0
-        plain = run_scenario(get_scenario("smoke"))
+        plain = run_record(get_scenario("smoke"))
         assert plain["noise"] is None and plain["fidelity"] is None
 
     def test_fluid_dynamics_identical_without_noise(self):

@@ -6,7 +6,7 @@ from repro.errors import ConfigurationError
 from repro.network.geometry import Coordinate
 from repro.network.layout import CommRequest
 from repro.network.nodes import ResourceAllocation
-from repro.scenarios import ScenarioSpec, get_scenario, list_scenarios, run_scenario
+from repro.scenarios import ScenarioSpec, get_scenario, list_scenarios, run_record
 from repro.scenarios.run import build_machine, build_stream
 from repro.scenarios.spec import BACKEND_NAMES
 from repro.sim import (
@@ -185,9 +185,9 @@ class TestBackendProvenance:
         assert result.backend == "fluid"
 
     def test_flat_record_carries_backend(self):
-        record = run_scenario(get_scenario("smoke"))
+        record = run_record(get_scenario("smoke"))
         assert record["backend"] == "fluid"
-        detailed = run_scenario(get_scenario("smoke").with_backend("detailed"))
+        detailed = run_record(get_scenario("smoke").with_backend("detailed"))
         assert detailed["backend"] == "detailed"
         # Backend choice must reach the cache key, or fluid and detailed
         # sweeps would collide on one slot.
