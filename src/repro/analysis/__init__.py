@@ -19,6 +19,7 @@ from .fidelity_bandwidth import fidelity_bandwidth_tradeoff, scenario_fidelity_t
 from .service_metrics import service_load_sweep, service_metrics_table
 from .tables import table1, table2, derived_channel_table
 from .experiments import EXPERIMENTS, Experiment, get_experiment, list_experiments
+from .journaled import journal_records, journal_series
 from .report import reproduction_report, run_experiments
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "figure9",
     "geometric_space",
     "get_experiment",
+    "journal_records",
+    "journal_series",
     "linear_space",
     "list_experiments",
     "reproduction_report",

@@ -1,0 +1,80 @@
+"""Consume journaled sweep results in the analysis layer.
+
+A resumable sweep leaves one JSONL journal behind (see
+:mod:`repro.runtime.journal`); these helpers turn that store back into the
+analysis layer's own shapes, so a figure can be rebuilt from a finished —
+or even a partially finished — sweep without recomputing a single point:
+
+* :func:`journal_records` — the successfully completed points' results
+  (for scenario sweeps these are the flat benchmark records);
+* :func:`journal_series` — one :class:`~repro.analysis.series.Series`
+  extracted by dotted record paths, e.g. ``x="spec.topology.width"``
+  against ``y="makespan_us"``.
+
+Failed points are excluded (they carry no result columns); callers that
+need the failure records should read the journal's status via
+:func:`repro.runtime.journal.journal_status`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..errors import ConfigurationError
+from ..runtime.journal import read_journal
+from .series import Series
+
+
+def journal_records(path: str) -> List[Dict[str, Any]]:
+    """The results of every successfully completed point, in key order.
+
+    Key order is deterministic (keys are parameter hashes), so two loads of
+    the same journal — or of journals from a clean run and a crash-resumed
+    run of the same sweep — produce identically ordered records.
+    """
+    state = read_journal(path)
+    records = []
+    for key in sorted(state.ok_points):
+        result = state.ok_points[key].result
+        if isinstance(result, Mapping):
+            records.append(dict(result))
+        else:
+            records.append({"key": key, "result": result})
+    return records
+
+
+def _dig(record: Mapping[str, Any], dotted: str) -> Any:
+    value: Any = record
+    for part in dotted.split("."):
+        if not isinstance(value, Mapping) or part not in value:
+            raise ConfigurationError(
+                f"record has no field {dotted!r} (missing {part!r}); "
+                f"top-level keys: {sorted(record)[:12]}"
+            )
+        value = value[part]
+    return value
+
+
+def journal_series(
+    path: str,
+    *,
+    x: str,
+    y: str,
+    label: Optional[str] = None,
+) -> Series:
+    """Build one curve from a sweep journal by dotted record paths.
+
+    Points are sorted by x value, which is what the figure containers
+    expect; both fields must resolve to numbers in every completed record.
+    """
+    records = journal_records(path)
+    if not records:
+        raise ConfigurationError(f"{path} holds no completed points to plot")
+    pairs = sorted(
+        (float(_dig(record, x)), float(_dig(record, y))) for record in records
+    )
+    return Series.from_points(
+        label or f"{y} vs {x}",
+        [pair[0] for pair in pairs],
+        [pair[1] for pair in pairs],
+    )

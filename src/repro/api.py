@@ -125,13 +125,25 @@ def sweep(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     force: bool = False,
+    journal: Optional[str] = None,
+    point_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    progress: bool = False,
 ) -> List[Dict[str, Any]]:
     """Fan scenarios across the cached process pool; flat records back.
 
     Each record is the scenario's :meth:`RunResult.flat_record` (the
-    benchmark payload shape) plus a ``cached`` provenance flag.  Pool
-    payloads are canonical (name/description stripped) so equivalent specs
-    share a cache slot; records are re-labelled with caller-side identity.
+    benchmark payload shape) plus ``cached``/``journaled`` provenance flags.
+    Pool payloads are canonical (name/description stripped) so equivalent
+    specs share a cache slot; records are re-labelled with caller-side
+    identity.
+
+    ``journal`` makes the sweep crash-resumable: every completed point is
+    appended to one JSONL store, and re-running the same sweep loads it and
+    executes only the missing points.  A point whose worker raises (or
+    exceeds ``point_timeout_s``, after ``retries`` extra attempts) yields a
+    record carrying an ``error`` field instead of result columns — its
+    siblings always complete.
     """
     from .runtime.runner import ExperimentRunner
     from .scenarios.run import run_record
@@ -143,17 +155,25 @@ def sweep(
         resolved = [spec.with_backend(backend) for spec in resolved]
     runner = ExperimentRunner(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
     points = runner.sweep_records(
-        run_record, [{"spec": spec.canonical_dict()} for spec in resolved], force=force
+        run_record,
+        [{"spec": spec.canonical_dict()} for spec in resolved],
+        force=force,
+        journal=journal,
+        timeout_s=point_timeout_s,
+        retries=retries,
+        progress=progress,
     )
     records: List[Dict[str, Any]] = []
     for spec, point in zip(resolved, points):
-        records.append(
-            {
-                **point.result,
-                "name": spec.name,
-                "label": spec.label,
-                "spec": spec.to_dict(),
-                "cached": point.cached,
-            }
-        )
+        identity = {
+            "name": spec.name,
+            "label": spec.label,
+            "spec": spec.to_dict(),
+            "cached": point.cached,
+            "journaled": point.journaled,
+        }
+        if point.error is not None:
+            records.append({**identity, "error": point.error, "attempts": point.attempts})
+        else:
+            records.append({**point.result, **identity})
     return records

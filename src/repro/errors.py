@@ -46,3 +46,18 @@ class SimulationError(ReproError):
 
 class SchedulingError(ReproError):
     """The instruction scheduler detected an invalid instruction stream."""
+
+
+class SweepError(ReproError):
+    """One or more sweep points failed after fault isolation and retries.
+
+    The sharded work queue never lets a poisoned grid point abort its
+    siblings: every other point completes (and is journaled) first, then the
+    collected failures surface as one exception.  ``errors`` maps each failed
+    point's cache key to its structured error record (type, message,
+    formatted traceback).
+    """
+
+    def __init__(self, message: str, errors: "dict[str, dict[str, object]] | None" = None):
+        super().__init__(message)
+        self.errors = dict(errors or {})

@@ -1,10 +1,12 @@
-"""Execution runtime: parallel experiment running, caching and the CLI.
+"""Execution runtime: journaled sweeps, caching, fault isolation and the CLI.
 
 The analysis layer defines *what* each figure is; this package is *how* they
 get executed at scale — an :class:`ExperimentRunner` that fans sweeps out
-across a ``multiprocessing`` pool, a :class:`ResultCache` that memoizes every
-point on disk under a parameter hash, and the ``python -m repro`` command-line
-entry point built on both.
+across the sharded, restartable :class:`ShardedWorkQueue`, a
+:class:`ResultCache` that memoizes points on disk under a parameter hash, a
+:class:`SweepJournal` that makes long sweeps crash-resumable (one append-only
+JSONL store per sweep), and the ``python -m repro`` command-line entry point
+built on all three.
 """
 
 from .cache import (
@@ -15,15 +17,30 @@ from .cache import (
     parameter_hash,
     source_fingerprint,
 )
+from .journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalPoint,
+    SweepJournal,
+    journal_status,
+    read_journal,
+)
+from .queue import PointOutcome, ShardedWorkQueue
 from .runner import ExperimentRunner, SweepPoint
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "ExperimentRunner",
+    "JournalPoint",
+    "PointOutcome",
     "ResultCache",
+    "ShardedWorkQueue",
+    "SweepJournal",
     "SweepPoint",
     "default_cache_dir",
     "fingerprinted_files",
+    "journal_status",
     "parameter_hash",
+    "read_journal",
     "source_fingerprint",
 ]

@@ -3,8 +3,10 @@
 Sweep points are pure functions of their parameters, so their results can be
 memoized across processes and runs.  Values are pickled to one file per key
 under a cache directory; writes are atomic (temp file + rename) so a crashed
-or parallel writer never leaves a truncated entry behind, and unreadable
-entries are treated as misses and discarded.
+or parallel writer never leaves a truncated entry behind.  Corrupt entries
+are treated as misses and discarded; transient I/O errors are misses that
+leave the entry in place, and temp files leaked by killed writers are reaped
+on init and by :meth:`ResultCache.clear`.
 """
 
 from __future__ import annotations
@@ -16,10 +18,14 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from typing import Any, Iterator, Optional
 
-#: Bump when cached artefact layouts change incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: Bump when cached artefact layouts change incompatibly.  Version 2 fixed
+#: the key-coercion collision where dict keys were canonicalised through
+#: ``str(k)`` (so ``{1: x}`` and ``{"1": x}`` shared a slot); keys now carry
+#: a type tag, which legitimately invalidates all version-1 entries.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -28,10 +34,28 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def _canonicalise_key(key: Any) -> Any:
+    """Canonical form of a dict key: (type tag, canonical value).
+
+    Coercing keys through ``str`` would make ``{1: x}`` and ``{"1": x}`` hash
+    identically and serve each other's cached results; the type tag keeps
+    equal-looking keys of different types in distinct slots (``bool`` vs
+    ``int`` included, since their qualnames differ).
+    """
+    return ("key", type(key).__qualname__, _canonicalise(key))
+
+
 def _canonicalise(value: Any) -> Any:
     """Reduce a parameter structure to a deterministic, hashable form."""
     if isinstance(value, dict):
-        return ("dict", tuple(sorted((str(k), _canonicalise(v)) for k, v in value.items())))
+        # Sort by the repr of the canonical (type-tagged) key: mixed-type key
+        # sets would make direct tuple comparison raise, while reprs of
+        # canonical forms are deterministic and totally ordered.
+        items = sorted(
+            ((_canonicalise_key(k), _canonicalise(v)) for k, v in value.items()),
+            key=lambda kv: repr(kv[0]),
+        )
+        return ("dict", tuple(items))
     if isinstance(value, (list, tuple)):
         return ("seq", tuple(_canonicalise(v) for v in value))
     if isinstance(value, (set, frozenset)):
@@ -112,12 +136,19 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
 
 
+#: Temp files from a crashed writer older than this are reaped on cache init.
+#: Younger ones are left alone: they may belong to a live concurrent writer
+#: whose ``os.replace`` has not landed yet.
+STALE_TMP_AGE_S = 3600.0
+
+
 class ResultCache:
     """A directory of pickled results, one file per parameter hash."""
 
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory or default_cache_dir()
         os.makedirs(self.directory, exist_ok=True)
+        self._reap_stale_tmp(max_age_s=STALE_TMP_AGE_S)
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.pkl")
@@ -134,17 +165,25 @@ class ResultCache:
                 yield name[: -len(".pkl")]
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Load a cached value; corrupt or missing entries return ``default``."""
+        """Load a cached value; corrupt or missing entries return ``default``.
+
+        Only genuine corruption (a truncated pickle, a stale class) deletes
+        the entry.  Transient I/O failures — ``EACCES``, ``EMFILE``, a flaky
+        network mount — are a plain miss that leaves the file in place, so a
+        momentary fault never throws away a valid result.
+        """
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except FileNotFoundError:
             return default
-        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError, OSError):
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError, IndexError):
             # A truncated or stale entry is a miss; drop it so the slot heals.
             with contextlib.suppress(OSError):
                 os.remove(path)
+            return default
+        except OSError:
             return default
 
     def put(self, key: str, value: Any) -> str:
@@ -162,10 +201,31 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were deleted."""
+        """Remove every entry and leftover temp file; returns the count."""
         removed = 0
         for key in list(self.keys()):
             with contextlib.suppress(OSError):
                 os.remove(self.path_for(key))
                 removed += 1
+        return removed + self._reap_stale_tmp(max_age_s=0.0)
+
+    def _reap_stale_tmp(self, *, max_age_s: float) -> int:
+        """Remove ``*.tmp`` files older than ``max_age_s`` seconds.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaks its temp
+        file forever (``keys()`` skips them, so ``clear()`` used to as well).
+        Init sweeps only comfortably stale ones to avoid racing a live
+        writer; ``clear()`` passes 0.0 to take everything.
+        """
+        removed = 0
+        now = time.time()
+        with contextlib.suppress(OSError):
+            for name in os.listdir(self.directory):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(self.directory, name)
+                with contextlib.suppress(OSError):
+                    if now - os.path.getmtime(path) >= max_age_s:
+                        os.remove(path)
+                        removed += 1
         return removed

@@ -12,7 +12,15 @@ The command surface is noun-verb:
     granularity; ``--emit-bench out.json`` writes the machine-readable
     benchmark payload the CI perf trajectory records.  Scenarios with a
     ``traffic`` section run in open-loop service mode and report steady-state
-    metrics in place of batch counters.
+    metrics in place of batch counters.  ``--journal FILE`` makes the run
+    crash-resumable (completed points stream into one JSONL store and are
+    never recomputed on restart); ``--point-timeout``/``--retries`` bound a
+    poisoned point's damage to its own structured error record; and
+    ``--progress`` streams progress/ETA lines to stderr.
+``sweep status``
+    Inspect a sweep journal: how many points are recorded, failed or still
+    missing, retry counts, and whether a crashed writer's truncated tail was
+    found.
 ``serve``
     Run one open-loop service scenario (``--scenario`` catalog name or
     ``--spec`` file; a ``traffic`` section is required) and report offered
@@ -96,6 +104,37 @@ def _emit_json(payload: Any) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _add_sweep_execution_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append completed points to this JSONL journal and resume from "
+        "it on restart (one compact store per sweep; failed points retry)",
+    )
+    sub.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point timeout; a point that exceeds it becomes a "
+        "structured error record instead of hanging the sweep",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts for failed points before recording the error "
+        "(default: 0)",
+    )
+    sub.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream progress/ETA lines to stderr while the sweep runs",
+    )
+
+
 def _add_scenario_io_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--spec",
@@ -145,7 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(
         dest="command",
         required=True,
-        metavar="{backends,experiments,scenarios,serve,verify,lint}",
+        metavar="{backends,experiments,scenarios,sweep,serve,verify,lint}",
     )
 
     backends = subparsers.add_parser(
@@ -209,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_io_options(sc_run)
     _add_runner_options(sc_run)
+    _add_sweep_execution_options(sc_run)
     _add_format_option(sc_run)
 
     sc_sweep = scenario_subs.add_parser(
@@ -230,7 +270,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_io_options(sc_sweep)
     _add_runner_options(sc_sweep)
+    _add_sweep_execution_options(sc_sweep)
     _add_format_option(sc_sweep)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep execution tools (journal status)"
+    )
+    sweep_subs = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_status = sweep_subs.add_parser(
+        "status", help="summarise a sweep journal: completed/failed/missing points"
+    )
+    sweep_status.add_argument(
+        "journal", metavar="JOURNAL", help="path to the sweep's JSONL journal"
+    )
+    _add_format_option(sweep_status)
 
     serve = subparsers.add_parser(
         "serve",
@@ -423,7 +476,13 @@ def _scenario_table_line(name: str, record: Dict[str, Any], flag: str, width: in
 
 
 def _execute_scenarios(specs, args: argparse.Namespace) -> int:
-    """Fan specs across the pool, print the result table, emit the payload."""
+    """Fan specs across the pool, print the result table, emit the payload.
+
+    A failed point (worker exception or per-point timeout) prints as an
+    ``ERROR`` row and makes the exit code 1, but never aborts its siblings:
+    every other scenario still completes, and with ``--journal`` the failure
+    is durably recorded and retried on the next invocation.
+    """
     from ..scenarios import run_record
     from ..scenarios.bench import bench_payload, write_bench_file
 
@@ -435,22 +494,55 @@ def _execute_scenarios(specs, args: argparse.Namespace) -> int:
     # differently-named specs describing the same experiment share one cache
     # slot; each record is re-labelled with its caller-side identity below.
     points = runner.sweep_records(
-        run_record, [{"spec": spec.canonical_dict()} for spec in specs], force=args.force
+        run_record,
+        [{"spec": spec.canonical_dict()} for spec in specs],
+        force=args.force,
+        journal=getattr(args, "journal", None),
+        timeout_s=getattr(args, "point_timeout", None),
+        retries=getattr(args, "retries", 0),
+        progress=getattr(args, "progress", False),
     )
     name_width = max(len(spec.name) for spec in specs)
     records = []
+    failed = 0
     as_json = getattr(args, "format", "text") == "json"
     for spec, point in zip(specs, points):
+        if point.error is not None:
+            failed += 1
+            record = {
+                "name": spec.name,
+                "label": spec.label,
+                "spec": spec.to_dict(),
+                "cached": False,
+                "journaled": point.journaled,
+                "error": point.error,
+                "attempts": point.attempts,
+            }
+            records.append(record)
+            if not as_json:
+                print(
+                    f"{spec.name:{name_width}s}  ERROR "
+                    f"{point.error.get('type', 'Error')}: "
+                    f"{point.error.get('message', '')}  "
+                    f"[{point.attempts} attempt(s)]"
+                )
+            continue
         record = {
             **point.result,
             "name": spec.name,
             "label": spec.label,
             "spec": spec.to_dict(),
             "cached": point.cached,
+            "journaled": point.journaled,
         }
         records.append(record)
         if not as_json:
-            flag = "cache" if point.cached else f"{record['wall_time_s']:.2f}s"
+            if point.cached:
+                flag = "cache"
+            elif point.journaled:
+                flag = "journal"
+            else:
+                flag = f"{record['wall_time_s']:.2f}s"
             print(_scenario_table_line(spec.name, record, flag, name_width))
     if as_json:
         _emit_json(records)
@@ -460,10 +552,11 @@ def _execute_scenarios(specs, args: argparse.Namespace) -> int:
         print(
             f"wrote {path}: {payload['scenario_count']} scenarios, "
             f"{payload['cache_hits']} cache hits, "
+            f"{payload['resume_hits']} journal hits, "
             f"{payload['computed_wall_time_s']:.2f}s computed",
             file=sys.stderr if as_json else sys.stdout,
         )
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
@@ -504,6 +597,55 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return _cmd_scenarios_sweep(args)
     raise AssertionError(  # pragma: no cover
         f"unhandled scenario command {args.scenario_command!r}"
+    )
+
+
+# -- sweep tools --------------------------------------------------------------------
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from .journal import journal_status
+
+    status = journal_status(args.journal)
+    if args.format == "json":
+        _emit_json(status)
+        return 0
+    meta = status["meta"]
+    print(f"journal: {status['path']}")
+    if meta.get("func"):
+        print(f"sweep:   {meta['func']}  (source {meta.get('source', '?')})")
+    print(
+        f"points:  {status['ok']}/{status['total']} ok, "
+        f"{status['error_count']} failed, {status['missing']} missing"
+    )
+    print(
+        f"entries: {status['entries']} recorded "
+        f"({status['retries']} retries), {status['elapsed_s']:.2f}s compute"
+    )
+    if status["truncated_bytes"]:
+        print(
+            f"note:    {status['truncated_bytes']} bytes of truncated tail "
+            "(crashed writer); the partial point will be recomputed on resume"
+        )
+    for error in status["errors"][:5]:
+        print(
+            f"  failed {error['key']}: {error.get('type', 'Error')}: "
+            f"{error.get('message', '')}  [{error['attempts']} attempt(s)]"
+        )
+    if len(status["errors"]) > 5:
+        print(f"  ... and {len(status['errors']) - 5} more failures")
+    if status["complete"]:
+        print("state:   complete — a re-run recomputes nothing")
+    elif status["missing"] or status["error_count"]:
+        print("state:   resumable — a re-run executes only missing/failed points")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command == "status":
+        return _cmd_sweep_status(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled sweep command {args.sweep_command!r}"
     )
 
 
@@ -593,6 +735,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_backends(args)
         if args.command == "scenarios":
             return _cmd_scenarios(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "verify":

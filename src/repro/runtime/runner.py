@@ -1,11 +1,24 @@
-"""Parallel experiment execution with on-disk result caching.
+"""Parallel experiment execution with caching, journaling and fault isolation.
 
 :class:`ExperimentRunner` drives the figure/table registry in
-:mod:`repro.analysis.experiments` and arbitrary parameter sweeps across a
-``multiprocessing`` pool.  Every unit of work is addressed by a parameter
-hash, so re-running a sweep only executes the points that are not already on
-disk — regenerating all figures a second time is effectively free, and a
-killed sweep resumes where it stopped.
+:mod:`repro.analysis.experiments` and arbitrary parameter sweeps across the
+sharded work queue in :mod:`repro.runtime.queue`.  Every unit of work is
+addressed by a parameter hash, so re-running a sweep only executes the
+points that are not already stored — regenerating all figures a second time
+is effectively free, and a killed sweep resumes where it stopped.
+
+Sweeps have two storage modes:
+
+* **Cache mode** (default): each point is pickled under its hash in the
+  :class:`~repro.runtime.cache.ResultCache`, exactly as before.
+* **Journal mode** (``journal=path``): every completed point — structured
+  failures included — is appended to one JSONL journal for the whole sweep
+  (see :mod:`repro.runtime.journal`).  Restarting the same sweep loads the
+  journal and computes only the missing points; failed points are retried.
+
+Either way, a worker exception no longer kills the batch: it becomes a
+structured :attr:`SweepPoint.error`, with an optional per-point timeout and
+bounded retry, and progress/ETA reporting streamed to stderr.
 
 Work is shipped to workers as (module, qualname, params) triples rather than
 pickled callables, which keeps lambdas and bound methods out of the pool and
@@ -15,23 +28,38 @@ the tasks byte-cheap.
 from __future__ import annotations
 
 import importlib
-import multiprocessing
-import os
+import sys
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SweepError
 from .cache import ResultCache, parameter_hash, source_fingerprint
+from .journal import JournalPoint, SweepJournal
+from .queue import PointOutcome, ShardedWorkQueue
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One executed sweep point: its parameters, result and cache provenance."""
+    """One executed sweep point: parameters, result (or error) and provenance.
+
+    ``cached`` marks points served from the pickle cache, ``journaled``
+    points loaded back from a sweep journal; ``error`` carries the
+    structured failure record (type, message, traceback) when the point's
+    final attempt failed, in which case ``result`` is ``None``.
+    """
 
     params: Dict[str, Any]
     result: Any
     cache_key: str
     cached: bool
+    journaled: bool = False
+    error: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 def _resolve(module_name: str, qualname: str) -> Callable[..., Any]:
@@ -65,8 +93,61 @@ def _callable_path(func: Callable[..., Any]) -> Tuple[str, str]:
     return module_name, qualname
 
 
+class _Progress:
+    """Throttled progress/ETA lines on stderr for long sweeps."""
+
+    def __init__(
+        self, total: int, preloaded: int, *, enabled: bool, stream: Optional[TextIO] = None
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self.failed = 0
+        self.enabled = enabled
+        self.stream = stream or sys.stderr
+        self.started = time.perf_counter()
+        self._last_emit = 0.0
+        if enabled and total:
+            print(
+                f"[sweep] {total} points to run ({preloaded} already stored)",
+                file=self.stream,
+            )
+
+    def update(self, outcome: PointOutcome) -> None:
+        self.done += 1
+        if not outcome.ok:
+            self.failed += 1
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        # Emit at most twice a second, plus always the final point.
+        if self.done < self.total and now - self._last_emit < 0.5:
+            return
+        self._last_emit = now
+        elapsed = now - self.started
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        eta = (self.total - self.done) / rate if rate > 0 else float("inf")
+        eta_text = f"{eta:.0f}s" if eta != float("inf") else "?"
+        failed = f", {self.failed} failed" if self.failed else ""
+        print(
+            f"[sweep] {self.done}/{self.total} done{failed}  "
+            f"({rate:.1f} pts/s, eta {eta_text})",
+            file=self.stream,
+        )
+
+
+@dataclass
+class _Resolved:
+    """Where one key's value came from, however it was obtained."""
+
+    value: Any
+    cached: bool = False
+    journaled: bool = False
+    error: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+
+
 class ExperimentRunner:
-    """Runs experiments and sweeps over a process pool with caching.
+    """Runs experiments and sweeps over restartable worker pools with caching.
 
     Parameters
     ----------
@@ -95,55 +176,128 @@ class ExperimentRunner:
 
     # -- generic machinery ----------------------------------------------------------
 
-    def _pool_size(self, task_count: int) -> int:
-        if task_count <= 1:
-            return 1
-        workers = self.workers or os.cpu_count() or 1
-        return max(1, min(workers, task_count))
-
-    def _execute(self, worker: Callable[[Any], Any], tasks: List[Any]) -> List[Any]:
-        """Run ``worker`` over ``tasks``, in-process or across a pool."""
-        pool_size = self._pool_size(len(tasks))
-        if pool_size == 1:
-            return [worker(task) for task in tasks]
-        with multiprocessing.Pool(processes=pool_size) as pool:
-            return pool.map(worker, tasks)
-
     def _run_keyed(
         self,
         worker: Callable[[Any], Any],
         keyed_tasks: List[Tuple[str, Any]],
         *,
         force: bool,
-    ) -> Tuple[Dict[str, Any], set]:
-        """Run (cache_key, task) pairs, satisfying what it can from the cache.
+        journal: Optional[str] = None,
+        journal_meta: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        shard_size: Optional[int] = None,
+        progress: bool = False,
+    ) -> Dict[str, _Resolved]:
+        """Run (cache_key, task) pairs, satisfying what it can from storage.
 
-        Returns the results by key plus the set of keys actually *served*
-        from the cache — an existence probe is not enough, because a corrupt
-        entry reads as a miss and gets recomputed.
+        With ``journal`` set, the journal is the sweep's single store: points
+        already recorded ``ok`` are loaded instead of recomputed (failures
+        are retried) and every completion is appended as it lands — the
+        pickle cache is bypassed entirely.  Without it, hits come from (and
+        misses go to) the :class:`ResultCache`, where an existence probe is
+        not enough: a corrupt entry reads as a miss and gets recomputed.
         """
-        results: Dict[str, Any] = {}
-        hit_keys: set = set()
+        results: Dict[str, _Resolved] = {}
+        unique_keys: List[str] = []
+        seen = set()
+        for key, _ in keyed_tasks:
+            if key not in seen:
+                seen.add(key)
+                unique_keys.append(key)
+
+        journal_handle: Optional[SweepJournal] = None
+        if journal is not None:
+            journal_handle = SweepJournal(journal)
+            sweep_id = parameter_hash(
+                {"journal": journal_meta or {}, "keys": sorted(unique_keys)}
+            )
+            state = journal_handle.open(
+                sweep_id=sweep_id, total=len(unique_keys), meta=journal_meta
+            )
+            if not force:
+                for key, point in state.ok_points.items():
+                    if key in seen:
+                        results[key] = _Resolved(
+                            point.result, journaled=True, attempts=point.attempts
+                        )
+
         misses: List[Tuple[str, Any]] = []
         missing_keys = set()
         sentinel = object()
         for key, task in keyed_tasks:
-            if self.cache is not None and not force:
+            if key in results or key in missing_keys:
+                continue
+            if journal_handle is None and self.cache is not None and not force:
                 hit = self.cache.get(key, sentinel)
                 if hit is not sentinel:
-                    results[key] = hit
-                    hit_keys.add(key)
+                    results[key] = _Resolved(hit, cached=True)
                     continue
-            if key not in results and key not in missing_keys:
-                missing_keys.add(key)
-                misses.append((key, task))
-        if misses:
-            computed = self._execute(worker, [task for _, task in misses])
-            for (key, _), value in zip(misses, computed):
-                if self.cache is not None:
-                    self.cache.put(key, value)
-                results[key] = value
-        return results, hit_keys
+            missing_keys.add(key)
+            misses.append((key, task))
+
+        try:
+            if misses:
+                reporter = _Progress(len(misses), len(results), enabled=progress)
+                queue = ShardedWorkQueue(
+                    worker,
+                    workers=self.workers,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                    shard_size=shard_size,
+                )
+
+                def _store(index: int, outcome: PointOutcome) -> None:
+                    key = misses[index][0]
+                    if journal_handle is not None:
+                        journal_handle.append(
+                            JournalPoint(
+                                key=key,
+                                index=index,
+                                status=outcome.status,
+                                result=outcome.value,
+                                error=outcome.error,
+                                attempts=outcome.attempts,
+                                elapsed_s=outcome.elapsed_s,
+                            )
+                        )
+                    elif self.cache is not None and outcome.ok:
+                        # Failures are never cached: a transient fault must
+                        # not poison the slot for the next run.
+                        self.cache.put(key, outcome.value)
+                    reporter.update(outcome)
+
+                outcomes = queue.run([task for _, task in misses], on_result=_store)
+                for (key, _), outcome in zip(misses, outcomes):
+                    results[key] = _Resolved(
+                        outcome.value,
+                        error=outcome.error,
+                        attempts=outcome.attempts,
+                    )
+        finally:
+            if journal_handle is not None:
+                journal_handle.close()
+        return results
+
+    @staticmethod
+    def _raise_on_errors(results: Dict[str, _Resolved], what: str) -> None:
+        failures = {
+            key: resolved.error
+            for key, resolved in results.items()
+            if resolved.error is not None
+        }
+        if not failures:
+            return
+        key, first = next(iter(failures.items()))
+        first = first or {}
+        detail = f"{first.get('type', 'Error')}: {first.get('message', '')}"
+        tb = first.get("traceback")
+        raise SweepError(
+            f"{len(failures)} of {len(results)} {what} failed; "
+            f"first failure ({key}): {detail}"
+            + (f"\n{tb}" if tb else ""),
+            errors=failures,
+        )
 
     # -- registry experiments ---------------------------------------------------------
 
@@ -174,8 +328,9 @@ class ExperimentRunner:
             (parameter_hash({"experiment": identifier, "source": source}), identifier)
             for identifier in identifiers
         ]
-        by_key, _ = self._run_keyed(_execute_experiment, keyed, force=force)
-        return {identifier: by_key[key] for key, identifier in keyed}
+        by_key = self._run_keyed(_execute_experiment, keyed, force=force)
+        self._raise_on_errors(by_key, "experiments")
+        return {identifier: by_key[key].value for key, identifier in keyed}
 
     # -- parameter sweeps ---------------------------------------------------------------
 
@@ -185,14 +340,41 @@ class ExperimentRunner:
         param_grid: Sequence[Dict[str, Any]],
         *,
         force: bool = False,
+        journal: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        shard_size: Optional[int] = None,
+        progress: bool = False,
     ) -> List[Any]:
         """Run ``func(**params)`` for every point of ``param_grid``.
 
         ``func`` must be an importable module-level callable (workers re-import
-        it by name).  Results come back in grid order; each point is cached
-        under the hash of (function, params).
+        it by name).  Results come back in grid order.  Fault isolation still
+        applies — every healthy point completes (and is stored) first — but
+        this results-only surface then raises :class:`SweepError` if any
+        point ultimately failed; use :meth:`sweep_records` to consume
+        structured per-point errors instead.
         """
-        return [point.result for point in self.sweep_records(func, param_grid, force=force)]
+        points = self.sweep_records(
+            func,
+            param_grid,
+            force=force,
+            journal=journal,
+            timeout_s=timeout_s,
+            retries=retries,
+            shard_size=shard_size,
+            progress=progress,
+        )
+        self._raise_on_errors(
+            {
+                point.cache_key: _Resolved(
+                    point.result, error=point.error, attempts=point.attempts
+                )
+                for point in points
+            },
+            "sweep points",
+        )
+        return [point.result for point in points]
 
     def sweep_records(
         self,
@@ -200,13 +382,21 @@ class ExperimentRunner:
         param_grid: Sequence[Dict[str, Any]],
         *,
         force: bool = False,
+        journal: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        shard_size: Optional[int] = None,
+        progress: bool = False,
     ) -> List[SweepPoint]:
-        """Like :meth:`sweep`, but each point also reports its cache provenance.
+        """Like :meth:`sweep`, but each point also reports its provenance.
 
-        A point is ``cached`` when its value was actually served from the
-        cache (a corrupt on-disk entry counts as a miss) — which is what lets
-        the scenario CLI show (and the benchmark payload record) which grid
-        points were free.
+        A point is ``cached``/``journaled`` when its value was actually
+        served from storage (a corrupt on-disk entry counts as a miss) —
+        which is what lets the scenario CLI show (and the benchmark payload
+        record) which grid points were free.  A failed point comes back with
+        ``result=None`` and a structured ``error`` record instead of raising;
+        with ``journal`` set the failure is durably recorded and retried on
+        the next run.
         """
         module_name, qualname = _callable_path(func)
         source = source_fingerprint()
@@ -216,13 +406,26 @@ class ExperimentRunner:
                 {"func": f"{module_name}:{qualname}", "params": params, "source": source}
             )
             keyed.append((key, (module_name, qualname, dict(params))))
-        by_key, hit_keys = self._run_keyed(_execute_call, keyed, force=force)
+        by_key = self._run_keyed(
+            _execute_call,
+            keyed,
+            force=force,
+            journal=journal,
+            journal_meta={"func": f"{module_name}:{qualname}", "source": source},
+            timeout_s=timeout_s,
+            retries=retries,
+            shard_size=shard_size,
+            progress=progress,
+        )
         return [
             SweepPoint(
                 params=dict(params),
-                result=by_key[key],
+                result=by_key[key].value,
                 cache_key=key,
-                cached=key in hit_keys,
+                cached=by_key[key].cached,
+                journaled=by_key[key].journaled,
+                error=by_key[key].error,
+                attempts=by_key[key].attempts,
             )
             for (key, _), params in zip(keyed, param_grid)
         ]

@@ -48,17 +48,24 @@ def bench_payload(
 ) -> Dict[str, Any]:
     """Assemble the benchmark JSON from per-scenario result records.
 
-    Each record's own ``cached`` flag (attached by the caller from the sweep
-    point's provenance) marks points served from the result cache, so
-    trajectory consumers can exclude free points from wall-time statistics.
+    Each record's own ``cached``/``journaled`` flags (attached by the caller
+    from the sweep point's provenance) mark points served from the result
+    cache or resumed from a sweep journal, so trajectory consumers can
+    exclude free points from wall-time statistics; ``resume_hits`` and
+    ``computed_points_per_sec`` are the sweep-throughput columns the CI
+    trajectory records.  Failed points carry an ``error`` record instead of
+    result columns and are counted in ``error_count``.
     """
     scenarios = []
     computed_wall = 0.0
+    computed_points = 0
     for record in records:
         cached = bool(record.get("cached", False))
-        scenarios.append({**record, "cached": cached})
-        if not cached:
+        journaled = bool(record.get("journaled", False))
+        scenarios.append({**record, "cached": cached, "journaled": journaled})
+        if not cached and not journaled and "error" not in record:
             computed_wall += float(record.get("wall_time_s", 0.0))
+            computed_points += 1
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "sha": sha or current_git_sha(),
@@ -67,7 +74,12 @@ def bench_payload(
         "platform": platform.platform(),
         "scenario_count": len(scenarios),
         "cache_hits": sum(1 for s in scenarios if s["cached"]),
+        "resume_hits": sum(1 for s in scenarios if s["journaled"]),
+        "error_count": sum(1 for s in scenarios if "error" in s),
         "computed_wall_time_s": computed_wall,
+        "computed_points_per_sec": (
+            computed_points / computed_wall if computed_wall > 0 else 0.0
+        ),
         "total_makespan_us": sum(float(s.get("makespan_us", 0.0)) for s in scenarios),
         "scenarios": scenarios,
     }

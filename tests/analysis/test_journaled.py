@@ -1,0 +1,95 @@
+"""The analysis layer consumes journaled sweeps (repro.analysis.journaled)."""
+
+import json
+
+import pytest
+
+from repro.analysis import journal_records, journal_series
+from repro.errors import ConfigurationError
+
+
+def _write_journal(path, results):
+    lines = [
+        {"kind": "header", "schema": 1, "sweep_id": "s", "total": len(results)}
+    ]
+    for index, (key, result) in enumerate(sorted(results.items())):
+        lines.append(
+            {
+                "kind": "point",
+                "key": key,
+                "index": index,
+                "status": "ok",
+                "result": result,
+                "attempts": 1,
+                "elapsed_s": 0.1,
+            }
+        )
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+
+
+class TestJournalRecords:
+    def test_records_in_deterministic_key_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(
+            path,
+            {
+                "bb": {"makespan_us": 2.0, "width": 4},
+                "aa": {"makespan_us": 1.0, "width": 2},
+            },
+        )
+        records = journal_records(str(path))
+        assert [r["makespan_us"] for r in records] == [1.0, 2.0]
+
+    def test_failed_points_are_excluded(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, {"aa": {"makespan_us": 1.0}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "point",
+                        "key": "zz",
+                        "index": 1,
+                        "status": "error",
+                        "error": {"type": "ValueError"},
+                    }
+                )
+                + "\n"
+            )
+        assert len(journal_records(str(path))) == 1
+
+    def test_scalar_results_are_wrapped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, {"aa": 7})
+        assert journal_records(str(path)) == [{"key": "aa", "result": 7}]
+
+
+class TestJournalSeries:
+    def test_series_from_dotted_paths_sorted_by_x(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(
+            path,
+            {
+                "bb": {"spec": {"topology": {"width": 8}}, "makespan_us": 80.0},
+                "aa": {"spec": {"topology": {"width": 2}}, "makespan_us": 20.0},
+                "cc": {"spec": {"topology": {"width": 4}}, "makespan_us": 40.0},
+            },
+        )
+        series = journal_series(
+            str(path), x="spec.topology.width", y="makespan_us", label="scaling"
+        )
+        assert series.label == "scaling"
+        assert series.x == (2.0, 4.0, 8.0)
+        assert series.y == (20.0, 40.0, 80.0)
+
+    def test_missing_field_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, {"aa": {"makespan_us": 1.0}})
+        with pytest.raises(ConfigurationError, match="no field"):
+            journal_series(str(path), x="spec.width", y="makespan_us")
+
+    def test_empty_journal_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, {})
+        with pytest.raises(ConfigurationError, match="no completed points"):
+            journal_series(str(path), x="a", y="b")

@@ -85,6 +85,50 @@ class TestFormatOption:
         assert "p99=" in out  # the service row renders steady-state columns
 
 
+class TestSweepStatus:
+    def _journaled_sweep(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(
+            ["scenarios", "run", "smoke", "--no-cache", "--workers", "1",
+             "--journal", str(journal)]
+        ) == 0
+        return journal
+
+    def test_status_text_reports_complete_journal(self, tmp_path, capsys):
+        journal = self._journaled_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "status", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 ok" in out
+        assert "complete" in out
+
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        journal = self._journaled_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "status", str(journal), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 1
+        assert payload["ok"] == 1
+        assert payload["missing"] == 0
+        assert payload["complete"] is True
+        assert payload["errors"] == []
+
+    def test_status_missing_journal_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "status", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no sweep journal" in capsys.readouterr().err
+
+    def test_journaled_rerun_reports_journal_provenance(self, tmp_path, capsys):
+        journal = self._journaled_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["scenarios", "run", "smoke", "--no-cache", "--workers", "1",
+             "--journal", str(journal), "--format", "json"]
+        ) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert record["journaled"] is True
+        assert record["cached"] is False
+
+
 class TestDeprecatedAliases:
     def test_legacy_list_warns_but_keeps_stdout(self, capsys):
         assert main(["experiments", "list"]) == 0
@@ -112,7 +156,7 @@ class TestDeprecatedAliases:
         assert "experiments" in help_text
         assert "serve" in help_text
         # The usage metavar lists only the public nouns.
-        assert "{backends,experiments,scenarios,serve,verify,lint}" in help_text
+        assert "{backends,experiments,scenarios,sweep,serve,verify,lint}" in help_text
         for line in help_text.splitlines():
             stripped = line.strip()
             assert not stripped.startswith("list "), line

@@ -1,0 +1,174 @@
+"""Unit tests for the append-only sweep journal (repro.runtime.journal)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalPoint,
+    SweepJournal,
+    journal_status,
+    read_journal,
+)
+
+
+def _point(key, *, status="ok", result=None, error=None, attempts=1):
+    return JournalPoint(
+        key=key,
+        index=0,
+        status=status,
+        result=result,
+        error=error,
+        attempts=attempts,
+        elapsed_s=0.5,
+    )
+
+
+def _open(path, *, sweep_id="sweep-a", total=3, meta=None):
+    journal = SweepJournal(str(path))
+    state = journal.open(sweep_id=sweep_id, total=total, meta=meta)
+    return journal, state
+
+
+class TestRoundTrip:
+    def test_create_append_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, state = _open(path, meta={"func": "m:f"})
+        assert state.points == {}
+        journal.append(_point("k1", result={"makespan_us": 1.5}))
+        journal.append(_point("k2", status="error", error={"type": "ValueError"}))
+        journal.close()
+
+        state = read_journal(str(path))
+        assert state.header["sweep_id"] == "sweep-a"
+        assert state.header["total"] == 3
+        assert state.header["meta"] == {"func": "m:f"}
+        assert set(state.points) == {"k1", "k2"}
+        assert state.points["k1"].ok
+        assert state.points["k1"].result == {"makespan_us": 1.5}
+        assert not state.points["k2"].ok
+        assert state.points["k2"].error == {"type": "ValueError"}
+        assert state.truncated_bytes == 0
+
+    def test_last_entry_per_key_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = _open(path)
+        journal.append(_point("k1", status="error", error={"type": "RuntimeError"}))
+        journal.append(_point("k1", result=42, attempts=2))
+        journal.close()
+
+        state = read_journal(str(path))
+        assert state.points["k1"].ok
+        assert state.points["k1"].result == 42
+        assert state.points["k1"].attempts == 2
+        assert state.line_count == 2  # both entries counted, one survives
+
+    def test_unserializable_result_is_a_clear_error(self, tmp_path):
+        journal, _ = _open(tmp_path / "j.jsonl")
+        with pytest.raises(ConfigurationError, match="JSON-serializable"):
+            journal.append(_point("k1", result=object()))
+        journal.close()
+
+
+class TestCrashTolerance:
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = _open(path)
+        journal.append(_point("k1", result=1))
+        journal.append(_point("k2", result=2))
+        journal.close()
+        # Simulate a writer killed mid-line: chop the last line in half.
+        raw = path.read_bytes()
+        cut = raw.rstrip(b"\n").rfind(b"\n") + 10
+        path.write_bytes(raw[:cut])
+
+        state = read_journal(str(path))
+        assert set(state.points) == {"k1"}
+        assert state.truncated_bytes > 0
+
+    def test_resume_truncates_partial_tail_before_appending(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = _open(path)
+        journal.append(_point("k1", result=1))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "point", "key": "k2", "st')  # crashed writer
+
+        journal, state = _open(path)
+        assert set(state.points) == {"k1"}
+        journal.append(_point("k3", result=3))
+        journal.close()
+        # Every line of the repaired file parses again.
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == [
+            "header",
+            "point",
+            "point",
+        ]
+        assert set(read_journal(str(path)).points) == {"k1", "k3"}
+
+    def test_unterminated_but_parseable_tail_is_distrusted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = _open(path)
+        journal.append(_point("k1", result=1))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            # Parses as JSON, but without its newline it may be a prefix of a
+            # longer record — the reader must drop it.
+            handle.write('{"kind": "point", "key": "k2", "index": 0, "status": "ok"}')
+        assert set(read_journal(str(path)).points) == {"k1"}
+
+
+class TestIdentity:
+    def test_mismatched_sweep_id_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = _open(path, sweep_id="sweep-a")
+        journal.close()
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            SweepJournal(str(path)).open(sweep_id="sweep-b", total=3)
+
+    def test_non_journal_file_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("just some text\n")
+        with pytest.raises(ConfigurationError):
+            read_journal(str(path))
+
+    def test_missing_file_is_a_clear_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no sweep journal"):
+            read_journal(str(tmp_path / "absent.jsonl"))
+
+    def test_future_schema_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {
+            "kind": "header",
+            "schema": JOURNAL_SCHEMA_VERSION + 1,
+            "sweep_id": "x",
+            "total": 1,
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ConfigurationError, match="schema"):
+            read_journal(str(path))
+
+
+class TestStatus:
+    def test_status_counts(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = _open(path, total=4)
+        journal.append(_point("k1", result=1))
+        journal.append(_point("k2", status="error", error={"type": "ValueError", "message": "boom"}))
+        journal.append(_point("k2", status="error", error={"type": "ValueError", "message": "boom"}, attempts=2))
+        journal.close()
+
+        status = journal_status(str(path))
+        assert status["total"] == 4
+        assert status["ok"] == 1
+        assert status["error_count"] == 1
+        assert status["missing"] == 2
+        assert status["complete"] is False
+        assert status["retries"] == 1
+        (error,) = status["errors"]
+        assert error["type"] == "ValueError"
+        assert error["key"] == "k2"
+        assert error["attempts"] == 2

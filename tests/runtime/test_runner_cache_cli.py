@@ -2,6 +2,7 @@
 
 import os
 import shutil
+import time
 
 import pytest
 
@@ -43,6 +44,21 @@ class TestParameterHash:
         a = {"grid": [4, 8], "alloc": ResourceAllocation(1, 1, 1)}
         b = {"alloc": ResourceAllocation(1, 1, 1), "grid": [4, 8]}
         assert parameter_hash(a) == parameter_hash(b)
+
+    def test_key_type_collision_regression(self):
+        # str(k) coercion used to make these four hash identically, so
+        # {1: x} could be served {"1": x}'s cached result.
+        assert parameter_hash({1: "x"}) != parameter_hash({"1": "x"})
+        assert parameter_hash({True: "x"}) != parameter_hash({1: "x"})
+        assert parameter_hash({1.0: "x"}) != parameter_hash({1: "x"})
+        # Equal keys of equal type still collapse to one slot.
+        assert parameter_hash({1: "x"}) == parameter_hash({1: "x"})
+
+    def test_mixed_type_keys_stay_order_insensitive(self):
+        assert parameter_hash({1: "a", "b": 2}) == parameter_hash({"b": 2, 1: "a"})
+        assert parameter_hash({(1, "x"): 1, "y": 2}) == parameter_hash(
+            {"y": 2, (1, "x"): 1}
+        )
 
     def test_source_fingerprint_is_stable(self):
         # The fingerprint ties cache entries to the package source; within a
@@ -105,6 +121,49 @@ class TestResultCache:
             cache.put(parameter_hash({"i": i}), i)
         assert cache.clear() == 3
         assert len(cache) == 0
+
+    def test_transient_io_error_is_a_miss_that_leaves_the_entry(self, tmp_path, monkeypatch):
+        # EACCES/EMFILE-style failures must not delete a valid entry: the
+        # next (healthy) read should still find it.
+        cache = ResultCache(str(tmp_path))
+        key = parameter_hash({"x": 1})
+        cache.put(key, {"value": 42})
+
+        import builtins
+
+        real_open = builtins.open
+
+        def flaky_open(path, *args, **kwargs):
+            if str(path) == cache.path_for(key):
+                raise PermissionError(13, "Permission denied", str(path))
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", flaky_open)
+        assert cache.get(key, default="miss") == "miss"
+        monkeypatch.undo()
+        assert cache.get(key) == {"value": 42}  # entry survived the fault
+
+    def test_stale_tmp_files_reaped_on_init(self, tmp_path):
+        # Plant the leak a crashed put() writer leaves behind, aged past the
+        # concurrent-writer grace period.
+        stale = tmp_path / "deadbeef.tmp"
+        stale.write_bytes(b"half a pickle")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "live.tmp"
+        fresh.write_bytes(b"concurrent writer")
+
+        ResultCache(str(tmp_path))
+        assert not stale.exists()  # reaped
+        assert fresh.exists()  # a live writer's file is left alone
+
+    def test_clear_reaps_tmp_files_regardless_of_age(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(parameter_hash({"x": 1}), 1)
+        planted = tmp_path / "crashed.tmp"
+        planted.write_bytes(b"leftover")
+        assert cache.clear() == 2  # the entry and the leaked temp file
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestExperimentRunner:
