@@ -1,17 +1,24 @@
-"""Flow-core scaling: incremental vs from-scratch max-min allocation.
+"""Flow-core scaling: incremental and vectorized vs from-scratch allocation.
 
 The seed allocator recomputed every flow's max-min fair rate from scratch over
 every flow and resource on every start/completion event — O(flows² ·
-resources) per event.  The rebuilt core maintains a persistent resource→flows
-index so each progressive-filling iteration walks only the flows registered
-on each resource, with demand sums cached between iterations.  This benchmark
-pins down the two claims that matter:
+resources) per event.  The incremental allocator maintains a persistent
+resource→flows index so each progressive-filling iteration walks only the
+flows registered on each resource; the vectorized allocator goes further and
+runs the same filling as numpy kernels over :class:`~repro.sim.flowpack`'s
+CSR arrays.  This benchmark pins down the two claims that matter:
 
-* **speed** — ≥5x faster on a Home Base contention scenario with 64
-  concurrent channels (the regime Figure 16's big grids live in);
-* **fidelity** — makespans identical to the from-scratch allocator (±1e-6 us)
-  on the Figure 16 benchmark configurations and on Figure 9-style chained
-  long-distance channels.
+* **speed** — the vectorized allocator is ≥12x faster than the from-scratch
+  reference on a Home Base contention scenario with 64 concurrent channels
+  (the regime Figure 16's big grids live in; it sustains ~25-30x on the
+  reference machine), with the incremental allocator keeping its historical
+  ≥5x floor;
+* **fidelity** — makespans identical across all three allocators (±1e-6 us
+  here; ``repro verify`` and the property suite pin the stronger bitwise
+  contract) on the Figure 16 benchmark configurations and on Figure 9-style
+  chained long-distance channels.
+
+See ``bench_allocator_scaling.py`` for the 1000-concurrent-flow regime.
 
 Run with:  pytest benchmarks/bench_flow_scaling.py --benchmark-only -s
 """
@@ -38,7 +45,11 @@ CONTENTION_QUBITS = 128
 CONTENTION_ALLOCATION = ResourceAllocation(2, 2, 1)
 
 MAKESPAN_TOLERANCE_US = 1e-6
-REQUIRED_SPEEDUP = 5.0
+#: The headline gate, now held by the vectorized allocator (raised from the
+#: incremental allocator's historical 5.0 once the numpy data plane landed).
+REQUIRED_SPEEDUP = 12.0
+#: The incremental allocator must not regress below its original bar either.
+INCREMENTAL_REQUIRED_SPEEDUP = 5.0
 
 
 def _contention_run(allocator):
@@ -87,23 +98,33 @@ def test_incremental_allocator_speedup_on_64_channels(benchmark):
     incremental = benchmark.pedantic(_contention_run, args=("incremental",), rounds=1, iterations=1)
     incremental_elapsed = time.perf_counter() - start
 
-    speedup = reference_elapsed / incremental_elapsed
+    start = time.perf_counter()
+    vectorized = _contention_run("vectorized")
+    vectorized_elapsed = time.perf_counter() - start
+
+    incremental_speedup = reference_elapsed / incremental_elapsed
+    vectorized_speedup = reference_elapsed / vectorized_elapsed
     print(
         f"\n64-channel contention ({CONTENTION_GRID}x{CONTENTION_GRID} Home Base, "
         f"{CONTENTION_QUBITS} qubits, {CONTENTION_ALLOCATION.label}):"
     )
     print(
-        f"  reference : {reference_elapsed:7.2f}s  makespan={reference.makespan_us:.6f} us\n"
-        f"  incremental: {incremental_elapsed:6.2f}s  makespan={incremental.makespan_us:.6f} us\n"
-        f"  speedup   : {speedup:7.1f}x"
+        f"  reference  : {reference_elapsed:7.2f}s  makespan={reference.makespan_us:.6f} us\n"
+        f"  incremental: {incremental_elapsed:7.2f}s  speedup={incremental_speedup:.1f}x\n"
+        f"  vectorized : {vectorized_elapsed:7.2f}s  speedup={vectorized_speedup:.1f}x"
     )
     # The scenario really does keep 64 channels in flight.
     assert incremental.max_concurrent_channels() == 64
-    # Same fluid dynamics, just computed incrementally.
-    assert abs(incremental.makespan_us - reference.makespan_us) <= MAKESPAN_TOLERANCE_US
+    # Same fluid dynamics, just computed incrementally / in numpy: the
+    # makespans are bitwise identical, not merely within tolerance.
+    assert incremental.makespan_us == reference.makespan_us
+    assert vectorized.makespan_us == reference.makespan_us
     assert incremental.channel_count == reference.channel_count
-    # The headline: the rebuilt core is at least 5x faster under contention.
-    assert speedup >= REQUIRED_SPEEDUP
+    assert vectorized.channel_count == reference.channel_count
+    # The headline: the numpy data plane is at least 12x faster under
+    # contention, and the incremental core keeps its historical 5x floor.
+    assert incremental_speedup >= INCREMENTAL_REQUIRED_SPEEDUP
+    assert vectorized_speedup >= REQUIRED_SPEEDUP
 
 
 def test_allocators_agree_on_fig16_benchmark_configs():
@@ -114,14 +135,17 @@ def test_allocators_agree_on_fig16_benchmark_configs():
         for ratio in (1, 4, 8):
             allocation = allocation_for_ratio(ratio, 18)
             makespans = {}
-            for allocator in ("reference", "incremental"):
+            for allocator in ("reference", "incremental", "vectorized"):
                 machine = QuantumMachine(6, allocation=allocation, layout=layout)
                 makespans[allocator] = (
                     CommunicationSimulator(machine, allocator=allocator)
                     .run(stream)
                     .makespan_us
                 )
-            difference = abs(makespans["incremental"] - makespans["reference"])
+            difference = max(
+                abs(makespans[allocator] - makespans["reference"])
+                for allocator in ("incremental", "vectorized")
+            )
             print(
                 f"  {layout:13s} ratio={ratio}  makespan={makespans['incremental']:.3f} us  "
                 f"|diff|={difference:.3e} us"
@@ -140,7 +164,7 @@ def test_allocators_agree_on_fig9_style_chained_channels():
         dest = Coordinate(32, 32 - i)
         specs.append((source, dest, 1000.0 * i))
     finals = {}
-    for allocator in ("reference", "incremental"):
+    for allocator in ("reference", "incremental", "vectorized"):
         engine = SimulationEngine()
         transport = FlowTransport(engine, machine, allocator=allocator)
         for qubit, (source, dest, delay) in enumerate(specs):
@@ -155,5 +179,6 @@ def test_allocators_agree_on_fig9_style_chained_channels():
         f"\nChained 64-hop channels: makespan={finals['incremental'][0]:.3f} us, "
         f"|diff|={abs(finals['incremental'][0] - finals['reference'][0]):.3e} us"
     )
-    assert finals["incremental"][1] == finals["reference"][1] == len(specs)
-    assert abs(finals["incremental"][0] - finals["reference"][0]) <= MAKESPAN_TOLERANCE_US
+    for allocator in ("incremental", "vectorized"):
+        assert finals[allocator][1] == finals["reference"][1] == len(specs)
+        assert abs(finals[allocator][0] - finals["reference"][0]) <= MAKESPAN_TOLERANCE_US

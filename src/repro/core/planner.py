@@ -83,6 +83,7 @@ class ChannelPlanner:
         )
         self._budget_cache: dict = {}
         self._arrival_cache: dict = {}
+        self._plan_cache: dict = {}
 
     def route(self, source: Coordinate, destination: Coordinate) -> Path:
         """Dimension-order path between two T' nodes."""
@@ -114,12 +115,23 @@ class ChannelPlanner:
         return self._budget_model.protocol
 
     def plan(self, source: Coordinate, destination: Coordinate) -> ChannelPlan:
-        """Plan a channel between two T' nodes."""
+        """Plan a channel between two T' nodes (memoized per endpoint pair).
+
+        Plans are immutable and deterministic in (source, destination) for a
+        fixed planner configuration, so the memo — shared across runs by the
+        warm-start cache — is exact.  Service mode plans a channel per
+        dispatched request, which makes repeated endpoint pairs the common
+        case.
+        """
+        key = (source, destination)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
         if source == destination:
             raise RoutingError("source and destination T' nodes coincide; no channel needed")
         path = self.route(source, destination)
         budget = self.budget_for_hops(path.hops)
-        return ChannelPlan(
+        plan = ChannelPlan(
             source=source,
             destination=destination,
             path=path,
@@ -127,6 +139,20 @@ class ChannelPlanner:
             budget=budget,
             encoding=self.encoding,
         )
+        self._plan_cache[key] = plan
+        return plan
+
+    def adopt_caches(
+        self, *, budgets: dict, arrivals: dict, plans: dict
+    ) -> None:
+        """Share memo dicts owned by a cross-run warm-start entry.
+
+        All three caches hold pure functions of the planner configuration
+        (which the warm-start key covers), so adoption only skips recompute.
+        """
+        self._budget_cache = budgets
+        self._arrival_cache = arrivals
+        self._plan_cache = plans
 
     def plan_many(
         self, endpoints: Sequence[Tuple[Coordinate, Coordinate]]

@@ -45,6 +45,7 @@ def bench_payload(
     records: List[Dict[str, Any]],
     *,
     sha: Optional[str] = None,
+    warm_start: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
     """Assemble the benchmark JSON from per-scenario result records.
 
@@ -55,7 +56,16 @@ def bench_payload(
     ``computed_points_per_sec`` are the sweep-throughput columns the CI
     trajectory records.  Failed points carry an ``error`` record instead of
     result columns and are counted in ``error_count``.
+
+    ``warm_start`` overrides the cross-run warm-start counters recorded in
+    the payload; by default the process-global cache's counters are used,
+    which reflect this process's share of the sweep (pool workers keep their
+    own caches).
     """
+    if warm_start is None:
+        from .warmstart import global_cache
+
+        warm_start = global_cache().stats()
     scenarios = []
     computed_wall = 0.0
     computed_points = 0
@@ -80,6 +90,7 @@ def bench_payload(
         "computed_points_per_sec": (
             computed_points / computed_wall if computed_wall > 0 else 0.0
         ),
+        "warm_start": dict(warm_start),
         "total_makespan_us": sum(float(s.get("makespan_us", 0.0)) for s in scenarios),
         "scenarios": scenarios,
     }

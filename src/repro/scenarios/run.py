@@ -36,6 +36,7 @@ from ..sim.simulator import CommunicationSimulator
 from ..workloads.instructions import InstructionStream
 from ..workloads.registry import build_workload
 from .spec import NoiseSpec, ScenarioSpec
+from .warmstart import attach as attach_warm_start
 
 #: Results carry a schema version so downstream consumers (the CI benchmark
 #: trajectory) can evolve without guessing.  Version 2 added the fidelity
@@ -87,7 +88,7 @@ def build_machine(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> QuantumMachin
     if topo.cells_per_hop != params.cells_per_hop:
         params = params.with_hop_cells(topo.cells_per_hop)
     params = _apply_noise(params, noise)
-    return QuantumMachine(
+    machine = QuantumMachine(
         topo.width,
         topo.height,
         topology_kind=topo.kind,
@@ -107,6 +108,11 @@ def build_machine(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> QuantumMachin
         track_fidelity=noise is not None,
         target_fidelity=noise.target_fidelity if noise is not None else None,
     )
+    # Adopt (or create) the cross-run warm-start entry for this machine
+    # structure: repeated sweep points and service runs then share channel
+    # plans, EPR budgets, flow profiles and demand vectors.
+    attach_warm_start(machine, spec)
+    return machine
 
 
 def build_stream(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> InstructionStream:

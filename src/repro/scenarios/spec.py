@@ -35,7 +35,7 @@ LAYOUT_ALIASES = {
     "mobile_qubit": "mobile_qubit",
     "mobile": "mobile_qubit",
 }
-ALLOCATOR_NAMES = ("incremental", "reference")
+ALLOCATOR_NAMES = ("incremental", "reference", "vectorized")
 ROUTING_NAMES = ("xy", "yx")
 #: Transport backend names accepted by ``runtime.backend``.  Mirrors the
 #: registry in :mod:`repro.sim.transport` (kept literal here so validating a

@@ -36,7 +36,7 @@ from ..trace import (
     RunEnded,
     TraceBus,
 )
-from ..trace.records import machine_record
+from ..trace.records import WarmStartApplied, machine_record, warm_start_record_fields
 from .admission import create_admission
 from .arrivals import ServiceRequest, generate_requests
 from .metrics import SteadyStateCollector
@@ -242,6 +242,9 @@ class ServiceSimulator:
                     operations=len(requests),
                 )
             )
+        warm_start = self.machine.warm_start
+        if trace is not None and warm_start is not None and trace.wants(WarmStartApplied.kind):
+            trace.emit(WarmStartApplied(t_us=0.0, **warm_start_record_fields(warm_start)))
 
         def pump() -> None:
             nonlocal inflight
@@ -373,6 +376,7 @@ class ServiceSimulator:
                 "max_inflight": traffic.max_inflight,
                 "allocation": self.machine.allocation.label,
                 "layout": self.machine.layout_name,
+                "warm_start": dict(warm_start) if warm_start is not None else None,
             },
         )
 

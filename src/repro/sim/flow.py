@@ -24,7 +24,7 @@ the final data teleportation, which bounds how fast a communication can finish
 even with unlimited bandwidth (the paper's t = g = p = 1024 normalisation
 point).
 
-Two allocators are available:
+Three allocators are available:
 
 * ``incremental`` (the default) maintains a persistent resource→flows index
   so each progressive-filling iteration recomputes a resource's demand only
@@ -37,16 +37,27 @@ Two allocators are available:
   exact zeros — so both allocators produce the same event trace, not merely
   statistically similar ones (degenerate max-min ties would otherwise break
   differently and cascade into diverging makespans).
+* ``vectorized`` moves the whole data plane into flat numpy arrays
+  (:mod:`repro.sim.flowpack`): demand sums become sequential ``bincount``
+  accumulations in flow-id order, the bottleneck delta a vectorized
+  ``cap_left / denom`` min-reduction, freezing a boolean mask — all ordered
+  to stay bitwise identical to the other two allocators.  It also collapses
+  the per-flow completion events into a single chained next-completion event
+  (the event-loop compaction for the reallocate/complete storm): every
+  reallocation recomputes each flow's finish time exactly as
+  ``_schedule_completion`` would, takes the argmin (ties resolve to the
+  lowest flow id, which is also the event-priority order the per-flow heap
+  uses), and keeps one pending event instead of N.
 * ``reference`` recomputes every rate by scanning every flow for every
   resource on every event (the original seed behaviour).  It is kept as the
-  oracle the benchmarks and property tests compare the incremental allocator
+  oracle the benchmarks and property tests compare the fast allocators
   against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import SimulationError
 from ..trace.records import FlowRateChanged
@@ -55,23 +66,43 @@ from .engine import Event, SimulationEngine
 from .machine import QuantumMachine
 from .transport import TransportBackend, register_backend
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flowpack import FlowPack
+
 #: Resource identifiers are (kind, *coordinates) tuples; kinds used below.
 KIND_TELEPORTER_X = "teleporter_x"
 KIND_TELEPORTER_Y = "teleporter_y"
 KIND_GENERATOR = "generator"
 KIND_PURIFIER = "purifier"
 
+#: All resource kinds, in the order the vectorized pack accounts for them.
+RESOURCE_KINDS = (KIND_TELEPORTER_X, KIND_TELEPORTER_Y, KIND_GENERATOR, KIND_PURIFIER)
+
 ResourceKey = Tuple
+
+#: The allocator names FlowTransport accepts (mirrored by the scenario codec).
+ALLOCATORS = ("incremental", "reference", "vectorized")
 
 #: Residual capacity below which a resource counts as saturated.
 _SATURATION_EPS = 1e-12
-#: Residual work below which a flow counts as finished.
+#: Residual work below which a flow counts as finished.  Completion
+#: *scheduling* and the completion handler use this same epsilon: a flow whose
+#: residue is at or below it schedules an immediate completion that the
+#: handler then accepts.  (They used to disagree — scheduling tested the far
+#: tighter ``_SATURATION_EPS`` — so a flow with residue in between scheduled
+#: an immediate event that no-op'd and was left stalled.)
 _COMPLETION_EPS = 1e-9
 
 
 @dataclass
 class ChannelFlow:
-    """One in-flight logical communication in the fluid model."""
+    """One in-flight logical communication in the fluid model.
+
+    Under the ``vectorized`` allocator the scalar ``remaining``/``rate``
+    fields are *not* advanced — the flowpack arrays are authoritative — and
+    ``completion_event`` stays unused (the transport keeps a single chained
+    next-completion event instead).
+    """
 
     flow_id: int
     planned: PlannedCommunication
@@ -107,21 +138,43 @@ class FlowTransport(TransportBackend):
         *,
         allocator: str = "incremental",
     ) -> None:
-        if allocator not in ("incremental", "reference"):
+        if allocator not in ALLOCATORS:
             raise SimulationError(
-                f"unknown allocator {allocator!r}; expected 'incremental' or 'reference'"
+                f"unknown allocator {allocator!r}; expected one of {ALLOCATORS}"
             )
         super().__init__(engine, machine)
         self.allocator = allocator
         self._incremental = allocator == "incremental"
+        self._vectorized = allocator == "vectorized"
         self._flows: Dict[int, ChannelFlow] = {}
         self._last_update = 0.0
-        self._capacity_cache: Dict[ResourceKey, float] = {}
         self._usage_integral: Dict[str, float] = {}
         #: Persistent resource → {flow_id: demand work} index.
         self._members: Dict[ResourceKey, Dict[int, float]] = {}
         #: Per-kind sum of rate * work over active flows (usage accounting).
         self._kind_rate_sum: Dict[str, float] = {}
+        #: Capacity is a pure function of the resource *kind* (three values),
+        #: so it is memoized per kind; the per-kind capacity *totals* are
+        #: accumulated key by key as resources are first used, preserving the
+        #: exact summation order the old per-key cache walk produced.
+        self._kind_capacity: Dict[str, float] = {}
+        self._kind_capacity_total: Dict[str, float] = {}
+        self._seen_keys: Set[ResourceKey] = set()
+        self._pack: Optional["FlowPack"] = None
+        self._next_completion: Optional[Event] = None
+        #: Flows whose chained completion fired but no-op'd since the last
+        #: reallocation (mirrors the per-flow heap, where a fired event is
+        #: spent until the next reallocation re-schedules it).
+        self._spent_completions: Set[int] = set()
+        if self._vectorized:
+            try:
+                from .flowpack import FlowPack
+            except ImportError as exc:  # pragma: no cover - env without numpy
+                raise SimulationError(
+                    "the 'vectorized' allocator requires numpy; install it or "
+                    "use the 'incremental' allocator"
+                ) from exc
+            self._pack = FlowPack(self._capacity, RESOURCE_KINDS)
 
     # -- public API ---------------------------------------------------------------
 
@@ -150,6 +203,20 @@ class FlowTransport(TransportBackend):
         self._flows[flow.flow_id] = flow
         for key, work in flow.demands.items():
             self._members.setdefault(key, {})[flow.flow_id] = work
+            if key not in self._seen_keys:
+                self._seen_keys.add(key)
+                kind = key[0]
+                self._kind_capacity_total[kind] = (
+                    self._kind_capacity_total.get(kind, 0.0) + self._capacity(key)
+                )
+        if self._pack is not None:
+            self._pack.add_flow(
+                flow.flow_id,
+                flow.demands,
+                remaining=flow.remaining,
+                start_us=flow.start_us,
+                floor_us=flow.floor_us,
+            )
         self._reallocate()
 
     def utilisation_report(self, elapsed_us: float, *, clamp: bool = True) -> Dict[str, float]:
@@ -162,12 +229,8 @@ class FlowTransport(TransportBackend):
         if elapsed_us <= 0:
             return {}
         totals: Dict[str, float] = {}
-        capacities: Dict[str, float] = {}
-        for key, capacity in self._capacity_cache.items():
-            kind = key[0]
-            capacities[kind] = capacities.get(kind, 0.0) + capacity
         for kind, usage in self._usage_integral.items():
-            cap = capacities.get(kind, 0.0)
+            cap = self._kind_capacity_total.get(kind, 0.0)
             if cap > 0:
                 ratio = usage / (cap * elapsed_us)
                 totals[kind] = min(ratio, 1.0) if clamp else ratio
@@ -175,6 +238,8 @@ class FlowTransport(TransportBackend):
 
     def resource_loads(self) -> Dict[ResourceKey, float]:
         """Instantaneous per-resource load: sum of rate x work over active flows."""
+        if self._pack is not None:
+            return self._pack.loads()
         loads: Dict[ResourceKey, float] = {}
         for key, members in self._members.items():
             load = 0.0
@@ -191,6 +256,25 @@ class FlowTransport(TransportBackend):
     # -- demand construction -----------------------------------------------------------
 
     def _build_demands(self, planned: PlannedCommunication) -> Dict[ResourceKey, float]:
+        """Demand vector for a planned communication, warm-cache aware.
+
+        The demand dict is a pure function of (source, destination) for a
+        fixed machine structure, and it is read-only once built, so machines
+        attached to a warm-start entry share one dict per endpoint pair
+        across flows and across runs.
+        """
+        cache = self.machine.demand_cache
+        if cache is None:
+            return self._compute_demands(planned)
+        path = planned.plan.path
+        cache_key = (path.source.as_tuple(), path.destination.as_tuple())
+        demands = cache.get(cache_key)
+        if demands is None:
+            demands = self._compute_demands(planned)
+            cache[cache_key] = demands
+        return demands
+
+    def _compute_demands(self, planned: PlannedCommunication) -> Dict[ResourceKey, float]:
         plan = planned.plan
         assert plan is not None
         profile = self.machine.flow_profile(plan.hops)
@@ -227,8 +311,9 @@ class FlowTransport(TransportBackend):
         return demands
 
     def _capacity(self, key: ResourceKey) -> float:
-        if key not in self._capacity_cache:
-            kind = key[0]
+        kind = key[0]
+        value = self._kind_capacity.get(kind)
+        if value is None:
             machine = self.machine
             if kind in (KIND_TELEPORTER_X, KIND_TELEPORTER_Y):
                 value = machine.teleporter_bandwidth_per_direction()
@@ -238,8 +323,8 @@ class FlowTransport(TransportBackend):
                 value = machine.purifier_bandwidth_per_node()
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown resource kind {kind!r}")
-            self._capacity_cache[key] = value
-        return self._capacity_cache[key]
+            self._kind_capacity[kind] = value
+        return value
 
     # -- fluid dynamics ---------------------------------------------------------------------
 
@@ -248,11 +333,14 @@ class FlowTransport(TransportBackend):
         now = self.engine.now
         elapsed = now - self._last_update
         if elapsed > 0:
-            # Per-flow progress uses the same arithmetic in both modes so the
-            # allocators stay bitwise comparable.
-            for flow in self._flows.values():
-                flow.remaining = max(flow.remaining - flow.rate * elapsed, 0.0)
-            if self._incremental:
+            if self._pack is not None:
+                self._pack.advance(elapsed)
+            else:
+                # Per-flow progress uses the same arithmetic in all modes so
+                # the allocators stay bitwise comparable.
+                for flow in self._flows.values():
+                    flow.remaining = max(flow.remaining - flow.rate * elapsed, 0.0)
+            if self._incremental or self._vectorized:
                 # The usage integral advances from per-kind rate sums
                 # maintained at rate changes: O(kinds) instead of walking
                 # every flow's demand vector.
@@ -272,6 +360,9 @@ class FlowTransport(TransportBackend):
 
     def _reallocate(self) -> None:
         """Recompute max-min fair rates and reschedule completion events."""
+        if self._pack is not None:
+            self._reallocate_vectorized()
+            return
         allocate = self._max_min_rates if self._incremental else self._max_min_rates_reference
         rates = allocate(list(self._flows.values()))
         trace = self.engine.trace
@@ -295,10 +386,60 @@ class FlowTransport(TransportBackend):
                     FlowRateChanged(t_us=self.engine.now, flow_id=flow.flow_id, rate=new_rate)
                 )
             flow.rate = new_rate
-            if flow.completion_event is not None:
-                flow.completion_event.cancel()
-                flow.completion_event = None
             self._schedule_completion(flow)
+
+    def _reallocate_vectorized(self) -> None:
+        """Vectorized rates plus the single chained next-completion event."""
+        pack = self._pack
+        assert pack is not None
+        self._spent_completions.clear()
+        trace = self.engine.trace
+        if trace is not None and not trace.wants(FlowRateChanged.kind):
+            trace = None
+        changes = pack.reallocate(_SATURATION_EPS, collect_changes=trace is not None)
+        if trace is not None:
+            now = self.engine.now
+            for flow_id, rate in changes:
+                trace.emit(FlowRateChanged(t_us=now, flow_id=flow_id, rate=rate))
+        self._kind_rate_sum = pack.kind_rate_sums()
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        """Keep exactly one pending completion event: the earliest one.
+
+        Ties resolve to the lowest flow id — the same order the per-flow
+        heap's ``1 + flow_id`` priorities impose — and completing that flow
+        triggers a reallocation that re-arms the chain, so simultaneous
+        completions still fire one by one in identical order.
+        """
+        pack = self._pack
+        assert pack is not None
+        nxt = pack.next_completion(
+            self.engine.now,
+            _COMPLETION_EPS,
+            exclude_flow_ids=self._spent_completions or None,
+        )
+        event = self._next_completion
+        if nxt is None:
+            if event is not None:
+                event.cancel()
+                self._next_completion = None
+            return
+        flow_id, finish = nxt
+        priority = 1 + flow_id
+        if (
+            event is not None
+            and not event.cancelled
+            and event.priority == priority
+            and event.time == finish
+        ):
+            return
+        if event is not None:
+            event.cancel()
+        flow = self._flows[flow_id]
+        self._next_completion = self.engine.schedule_at(
+            finish, lambda f=flow: self._complete(f), priority=priority
+        )
 
     # -- incremental allocator ----------------------------------------------------------
 
@@ -420,14 +561,32 @@ class FlowTransport(TransportBackend):
     # -- completion -----------------------------------------------------------------------
 
     def _schedule_completion(self, flow: ChannelFlow) -> None:
+        """(Re-)arm a flow's completion event, keeping it when unchanged.
+
+        The finish time is recomputed from the current rate on every
+        reallocation; if it lands bitwise on the already-pending event's time
+        the event is kept instead of cancelled and re-pushed, which cuts the
+        reallocate/complete storm's heap churn without changing a single
+        observable (the kept event has the identical time and priority the
+        fresh push would get).
+        """
         now = self.engine.now
-        if flow.remaining <= _SATURATION_EPS:
+        if flow.remaining <= _COMPLETION_EPS:
             finish = now
         elif flow.rate <= 0.0:
-            return  # Stalled; will be rescheduled at the next reallocation.
+            # Stalled; will be rescheduled at the next reallocation.
+            if flow.completion_event is not None:
+                flow.completion_event.cancel()
+                flow.completion_event = None
+            return
         else:
             finish = now + flow.remaining / flow.rate
         finish = max(finish, flow.start_us + flow.floor_us)
+        event = flow.completion_event
+        if event is not None:
+            if not event.cancelled and event.time == finish:
+                return
+            event.cancel()
         # Priority encodes the flow id so simultaneous completions execute in
         # flow order by construction rather than by heap insertion sequence,
         # keeping the event order deterministic and identical across
@@ -439,14 +598,31 @@ class FlowTransport(TransportBackend):
     def _complete(self, flow: ChannelFlow) -> None:
         if flow.flow_id not in self._flows:
             return
+        if self._pack is not None:
+            # The fired event was the single chained one; it is spent.
+            self._next_completion = None
+        else:
+            # The fired event must never be cancelled or kept again.
+            flow.completion_event = None
         self._advance_time()
-        if flow.remaining > _COMPLETION_EPS:
+        remaining = (
+            self._pack.remaining_of(flow.flow_id) if self._pack is not None else flow.remaining
+        )
+        if remaining > _COMPLETION_EPS:
             # A reallocation slowed the flow after this event was scheduled;
-            # let the rescheduled event handle it.
+            # let the next reallocation re-arm it.  In chained mode the other
+            # flows' completions must stay armed, so re-arm the chain with
+            # this flow excluded (its per-flow event would be spent too).
+            if self._pack is not None:
+                self._spent_completions.add(flow.flow_id)
+                self._schedule_next_completion()
             return
         del self._flows[flow.flow_id]
-        for key, work in flow.demands.items():
+        if self._pack is not None:
+            self._pack.remove_flow(flow.flow_id)
+        for key in flow.demands:
             if self._incremental:
+                work = flow.demands[key]
                 kind = key[0]
                 self._kind_rate_sum[kind] = self._kind_rate_sum.get(kind, 0.0) - flow.rate * work
             members = self._members.get(key)

@@ -10,7 +10,7 @@ flow model shares between concurrent channels.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # annotation-only imports; no runtime dependency edges
     from ..trace.records import RunStarted
@@ -135,6 +135,30 @@ class QuantumMachine:
             order=routing_order,
         )
         self._flow_profiles: Dict[int, FlowDemandProfile] = {}
+        #: Warm-start hooks (see :mod:`repro.scenarios.warmstart`): a shared
+        #: (source, destination) → demand-dict cache consulted by the fluid
+        #: transport, and the attachment info surfaced in result metadata.
+        #: Both stay ``None`` unless a warm-start entry is adopted.
+        self.demand_cache: Optional[Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], Dict]] = None
+        self.warm_start: Optional[Dict[str, object]] = None
+
+    def adopt_warm_state(
+        self,
+        *,
+        flow_profiles: Dict[int, FlowDemandProfile],
+        demand_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], Dict],
+        info: Dict[str, object],
+    ) -> None:
+        """Share warm-start state owned by a cross-run cache entry.
+
+        The adopted dicts replace this machine's empty per-run memos; they
+        hold pure functions of the machine *structure* (the warm-start key),
+        so sharing them across runs cannot change any computed value — it
+        only skips recomputation.
+        """
+        self._flow_profiles = flow_profiles
+        self.demand_cache = demand_cache
+        self.warm_start = info
 
     # -- constructors --------------------------------------------------------------
 

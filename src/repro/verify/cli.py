@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Mirrored from :data:`repro.scenarios.spec.ALLOCATOR_NAMES` at call time;
 #: the parser needs the default string before the scenario stack is imported.
-_DEFAULT_ALLOCATORS = "incremental,reference"
+_DEFAULT_ALLOCATORS = "incremental,reference,vectorized"
 
 
 def add_verify_parser(subparsers: argparse._SubParsersAction) -> None:

@@ -4,11 +4,16 @@ Random concurrent channel mixes are pushed through :class:`FlowTransport` and
 the fairness invariants are checked after *every* event:
 
 * rate conservation — no resource is ever allocated beyond its capacity;
-* the incremental allocator agrees with the from-scratch reference;
+* the incremental and vectorized allocators agree with the from-scratch
+  reference **bitwise**: identical flow-rate timelines and identical channel
+  event traces, not merely close makespans;
 * ``utilisation_report`` never needs its ``min(..., 1.0)`` clamp on a
-  well-formed run (the usage integral stays within physical capacity).
+  well-formed run (the usage integral stays within physical capacity);
+* the vectorized allocator's CSR structure round-trips: adding and removing
+  flows then rebuilding from scratch reproduces the compacted arrays exactly.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,6 +24,9 @@ from repro.sim.control import PlannedCommunication
 from repro.sim.engine import SimulationEngine
 from repro.sim.flow import FlowTransport
 from repro.sim.machine import QuantumMachine
+from repro.trace import FlowRateChanged, TraceBus
+
+ALL_ALLOCATORS = ("incremental", "reference", "vectorized")
 
 GRID_SIDE = 5
 #: Relative head-room for float round-off in capacity checks.
@@ -53,10 +61,10 @@ def _planned(machine, source, dest, qubit):
     return PlannedCommunication(request=request, plan=plan)
 
 
-def _run_transport(allocation, specs, allocator, check=None):
+def _run_transport(allocation, specs, allocator, check=None, trace=None):
     """Drive a FlowTransport through ``specs``; call ``check`` after each event."""
     machine = QuantumMachine(GRID_SIDE, allocation=allocation)
-    engine = SimulationEngine()
+    engine = SimulationEngine(trace=trace)
     transport = FlowTransport(engine, machine, allocator=allocator)
     for qubit, (source, dest, delay) in enumerate(specs):
         planned = _planned(machine, source, dest, qubit)
@@ -105,11 +113,38 @@ class TestMaxMinFairnessInvariants:
         if not specs:
             return
         results = {}
-        for allocator in ("incremental", "reference"):
+        for allocator in ALL_ALLOCATORS:
             transport, engine = _run_transport(allocation, specs, allocator)
             results[allocator] = (engine.now, len(transport.records))
-        assert results["incremental"][1] == results["reference"][1]
-        assert abs(results["incremental"][0] - results["reference"][0]) <= 1e-6
+        for allocator in ALL_ALLOCATORS[1:]:
+            assert results[allocator][1] == results["incremental"][1]
+            assert abs(results[allocator][0] - results["incremental"][0]) <= 1e-6
+
+    @given(allocations, channel_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_all_allocators_bitwise_identical(self, allocation, specs):
+        """reference/incremental/vectorized: bitwise-equal rate timelines,
+        channel records, completion order and makespan on random scenarios."""
+        specs = [(s, d, t) for s, d, t in specs if s != d]
+        if not specs:
+            return
+        outcomes = {}
+        for allocator in ALL_ALLOCATORS:
+            bus = TraceBus(kinds=[FlowRateChanged.kind])
+            transport, engine = _run_transport(allocation, specs, allocator, trace=bus)
+            outcomes[allocator] = {
+                # FlowRateChanged is a frozen dataclass: == is exact field
+                # (bitwise float) equality, so this pins the full rate dict
+                # timeline, not just the makespan.
+                "rates": list(bus.records),
+                "channels": [tuple(sorted(vars(r).items())) for r in transport.records],
+                "now": engine.now,
+            }
+        baseline = outcomes["reference"]
+        for allocator in ("incremental", "vectorized"):
+            assert outcomes[allocator]["rates"] == baseline["rates"], allocator
+            assert outcomes[allocator]["channels"] == baseline["channels"], allocator
+            assert outcomes[allocator]["now"] == baseline["now"], allocator
 
     @given(allocations, channel_specs)
     @settings(max_examples=25, deadline=None)
@@ -126,3 +161,105 @@ class TestMaxMinFairnessInvariants:
         for kind, value in raw.items():
             assert 0.0 <= value <= 1.0 + EPS, f"{kind} utilisation {value} needs the clamp"
             assert clamped[kind] <= 1.0
+
+
+# --------------------------------------------------------------------------
+# FlowPack CSR structure round-trip properties (satellite: vectorized plane)
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import SimulationError  # noqa: E402
+from repro.sim.flowpack import FlowPack  # noqa: E402
+
+PACK_KINDS = ("alpha", "beta")
+
+#: Per-flow demand maps over a small interned key space.  Work values are
+#: drawn from a fixed palette so exact float comparison is meaningful.
+pack_demands = st.lists(
+    st.dictionaries(
+        st.tuples(st.sampled_from(PACK_KINDS), st.integers(min_value=0, max_value=5)),
+        st.sampled_from([0.5, 1.0, 2.0, 3.25]),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _capacity_of(key):
+    kind, index = key
+    return 4.0 + index + (0.5 if kind == "beta" else 0.0)
+
+
+def _build_pack(demand_maps):
+    pack = FlowPack(_capacity_of, PACK_KINDS)
+    for flow_id, demands in enumerate(demand_maps):
+        pack.add_flow(
+            flow_id,
+            demands,
+            remaining=1.0 + flow_id,
+            start_us=10.0 * flow_id,
+            floor_us=float(flow_id % 3),
+        )
+    return pack
+
+
+def _assert_packs_identical(a, b):
+    assert a.col_keys == b.col_keys
+    left, right = a.arrays(), b.arrays()
+    assert left.keys() == right.keys()
+    for name in left:
+        assert np.array_equal(left[name], right[name]), name
+
+
+class TestFlowPackStructure:
+    @given(pack_demands, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_remove_compact_matches_fresh_rebuild(self, demand_maps, data):
+        """add → remove subset → compact yields the exact arrays a fresh
+        build over only the survivors would produce."""
+        pack = _build_pack(demand_maps)
+        doomed = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(demand_maps) - 1), unique=True
+            )
+        )
+        for flow_id in doomed:
+            pack.remove_flow(flow_id)
+        rebuilt = pack.rebuild(lambda fid: demand_maps[fid])
+        pack.compact()
+        _assert_packs_identical(pack, rebuilt)
+        assert pack.n_flows == len(demand_maps) - len(doomed)
+
+    @given(pack_demands)
+    @settings(max_examples=40, deadline=None)
+    def test_resource_view_is_exact_transpose(self, demand_maps):
+        pack = _build_pack(demand_maps)
+        indptr, order = pack.resource_view()
+        arrays = pack.arrays()
+        assert indptr[-1] == pack.n_entries
+        for col in range(pack.n_cols):
+            entries = order[indptr[col] : indptr[col + 1]]
+            # Every listed entry belongs to this column, in flow-id order.
+            assert (arrays["entry_col"][entries] == col).all()
+            assert (np.diff(entries) > 0).all()
+        # The transpose covers each entry exactly once.
+        assert sorted(order.tolist()) == list(range(pack.n_entries))
+
+    @given(pack_demands)
+    @settings(max_examples=40, deadline=None)
+    def test_advance_clamps_remaining_at_zero(self, demand_maps):
+        pack = _build_pack(demand_maps)
+        pack.reallocate(1e-12)
+        pack.advance(1e12)
+        remaining = pack.arrays()["remaining"]
+        assert (remaining >= 0.0).all()
+
+    def test_duplicate_and_non_monotonic_flow_ids_rejected(self):
+        pack = FlowPack(_capacity_of, PACK_KINDS)
+        pack.add_flow(3, {("alpha", 0): 1.0})
+        with pytest.raises(SimulationError):
+            pack.add_flow(3, {("alpha", 0): 1.0})
+        with pytest.raises(SimulationError):
+            pack.add_flow(2, {("alpha", 1): 1.0})

@@ -94,17 +94,18 @@ class TestRunScenario:
         assert ring["makespan_us"] < line["makespan_us"]
 
     def test_allocators_agree_on_wrap_fabrics(self):
-        # The incremental/reference parity must survive the new fabrics.
+        # The three-way allocator parity must survive the new fabrics.
         for name in ("ring_qft", "torus_permutation"):
             base = get_scenario(name).to_dict()
             makespans = {}
-            for allocator in ("incremental", "reference"):
+            for allocator in ("incremental", "reference", "vectorized"):
                 data = json.loads(json.dumps(base))
                 data["runtime"]["allocator"] = allocator
                 makespans[allocator] = run_record(data)["makespan_us"]
-            assert makespans["incremental"] == pytest.approx(
-                makespans["reference"], abs=1e-6
-            )
+            for allocator in ("incremental", "vectorized"):
+                assert makespans[allocator] == pytest.approx(
+                    makespans["reference"], abs=1e-6
+                )
 
 
 class TestRunnerIntegration:

@@ -166,3 +166,50 @@ class TestFigure16Behaviour:
             mobile.resource_utilisation["teleporter_x"], 1e-9
         )
         assert mobile_ratio > home_ratio
+
+
+class TestCompletionEpsilonUnification:
+    """Regression for the completion-epsilon split.
+
+    ``_schedule_completion`` used to test residual work against the far
+    tighter ``_SATURATION_EPS`` (1e-12) while ``_complete`` accepted at
+    ``_COMPLETION_EPS`` (1e-9).  A flow whose residue landed strictly between
+    the two scheduled an immediate completion event whose handler then
+    no-op'd, leaving the channel stalled forever.  Both sides now share
+    ``_COMPLETION_EPS``; this pins that a gap-residue flow really completes
+    under every allocator.
+    """
+
+    @pytest.mark.parametrize("allocator", ["incremental", "reference", "vectorized"])
+    def test_residue_in_epsilon_gap_still_completes(self, allocator):
+        from repro.network.geometry import Coordinate
+        from repro.network.layout import CommRequest
+        from repro.sim.control import PlannedCommunication
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.flow import _COMPLETION_EPS, _SATURATION_EPS, FlowTransport
+
+        machine = QuantumMachine(4)
+        engine = SimulationEngine()
+        transport = FlowTransport(engine, machine, allocator=allocator)
+        source, dest = Coordinate(0, 0), Coordinate(3, 3)
+        planned = PlannedCommunication(
+            request=CommRequest(source=source, dest=dest, qubit=0),
+            plan=machine.planner.plan(source, dest),
+        )
+        completed = []
+        transport.start(planned, lambda: completed.append(True))
+        assert transport.active_flows == 1
+        # Drop the residual work into the gap between the two epsilons.
+        residue = 5e-10
+        assert _SATURATION_EPS < residue <= _COMPLETION_EPS
+        flow = next(iter(transport._flows.values()))
+        if transport._pack is not None:
+            transport._pack._remaining[transport._pack.row_of(flow.flow_id)] = residue
+        else:
+            flow.remaining = residue
+        transport._reallocate()
+        for _ in range(64):
+            if not engine.step():
+                break
+        assert completed == [True]
+        assert transport.active_flows == 0

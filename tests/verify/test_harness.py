@@ -41,7 +41,7 @@ class TestVerifyScenario:
         for name in ("smoke", "ring_qft", "torus_permutation"):
             verdict = verify_scenario(get_scenario(name))
             assert verdict.ok, [str(d) for d in verdict.divergences]
-            assert verdict.allocators == ("incremental", "reference")
+            assert verdict.allocators == ("incremental", "reference", "vectorized")
             assert verdict.makespan_us > 0
             assert verdict.operations > 0
 
