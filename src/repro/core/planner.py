@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import RoutingError
 from ..network.geometry import Coordinate
-from ..network.routing import DimensionOrder, Path, dimension_order_route
+from ..network.routing import DimensionOrder, Path, candidate_paths
 from ..network.topology import MeshTopology
 from ..physics.parameters import IonTrapParameters
 from .budget import ChannelBudget, EPRBudgetModel
@@ -84,12 +84,30 @@ class ChannelPlanner:
         self._budget_cache: dict = {}
         self._arrival_cache: dict = {}
         self._plan_cache: dict = {}
+        # Instance-local memos for multi-path fabrics; deliberately NOT part
+        # of the warm-start exchange (budgets — the expensive part — are).
+        self._candidate_cache: dict = {}
+        self._path_plan_cache: dict = {}
 
     def route(self, source: Coordinate, destination: Coordinate) -> Path:
-        """Dimension-order path between two T' nodes."""
-        self.topology.validate_node(source)
-        self.topology.validate_node(destination)
-        return dimension_order_route(source, destination, self.topology, order=self.order)
+        """The default (policy-free) path between two T' nodes.
+
+        Dimension-order on grid fabrics; the first minimal candidate on
+        hierarchical fabrics.  Load balancers pick among :meth:`candidates`
+        instead and plan via :meth:`plan_via`.
+        """
+        return self.candidates(source, destination)[0]
+
+    def candidates(self, source: Coordinate, destination: Coordinate) -> Tuple[Path, ...]:
+        """All candidate paths for the pair (memoized per endpoint pair)."""
+        key = (source, destination)
+        cached = self._candidate_cache.get(key)
+        if cached is None:
+            self.topology.validate_node(source)
+            self.topology.validate_node(destination)
+            cached = candidate_paths(source, destination, self.topology, order=self.order)
+            self._candidate_cache[key] = cached
+        return cached
 
     def budget_for_hops(self, hops: int) -> ChannelBudget:
         """EPR budget for a channel of ``hops`` hops (cached per distance)."""
@@ -142,6 +160,30 @@ class ChannelPlanner:
         self._plan_cache[key] = plan
         return plan
 
+    def plan_via(
+        self, source: Coordinate, destination: Coordinate, path: Path
+    ) -> ChannelPlan:
+        """Plan a channel along a specific (balancer-chosen) candidate path.
+
+        Memoized per (endpoints, path nodes): a balancer re-picking the same
+        candidate for a later flow reuses the plan object, and the budget is
+        shared per hop count with :meth:`plan` through ``budget_for_hops``.
+        """
+        key = (source, destination, path.nodes)
+        cached = self._path_plan_cache.get(key)
+        if cached is not None:
+            return cached
+        plan = ChannelPlan(
+            source=source,
+            destination=destination,
+            path=path,
+            generator_node=path.midpoint_node(),
+            budget=self.budget_for_hops(path.hops),
+            encoding=self.encoding,
+        )
+        self._path_plan_cache[key] = plan
+        return plan
+
     def adopt_caches(
         self, *, budgets: dict, arrivals: dict, plans: dict
     ) -> None:
@@ -166,7 +208,15 @@ class ChannelPlanner:
         return plans
 
     def worst_case_plan(self) -> ChannelPlan:
-        """Plan for the longest (corner-to-corner) channel on the mesh."""
-        corner_a = Coordinate(0, 0)
-        corner_b = Coordinate(self.topology.width - 1, self.topology.height - 1)
+        """Plan for the longest channel on the fabric.
+
+        Corner to corner on a mesh; hierarchical fabrics expose their own
+        ``worst_case_endpoints`` (first host to last host).
+        """
+        endpoints = getattr(self.topology, "worst_case_endpoints", None)
+        if endpoints is not None:
+            corner_a, corner_b = endpoints()
+        else:
+            corner_a = Coordinate(0, 0)
+            corner_b = Coordinate(self.topology.width - 1, self.topology.height - 1)
         return self.plan(corner_a, corner_b)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError
+from .bigfabric import DragonflyTopology, FatTreeTopology, LeafSpineTopology
 from .nodes import ResourceAllocation
 from .topology import MeshTopology
 
@@ -55,19 +56,28 @@ def build_topology(
     *,
     allocation: Optional[ResourceAllocation] = None,
     cells_per_hop: int = 600,
+    **options: int,
 ) -> MeshTopology:
     """Build a fabric by registry name.
 
     ``height`` defaults to ``width`` for 2-D fabrics and to 1 for 1-D ones.
+    Extra keyword ``options`` (e.g. ``hosts_per_leaf`` for ``leaf_spine``)
+    pass through to the builder; a builder that does not accept an option
+    rejects it with :class:`ConfigurationError`.
     """
     key = (kind or "").strip().lower()
     if key not in _BUILDERS:
         raise ConfigurationError(
             f"unknown topology kind {kind!r}; known: {list_topologies()}"
         )
-    return _BUILDERS[key](
-        width, height, allocation=allocation, cells_per_hop=cells_per_hop
-    )
+    try:
+        return _BUILDERS[key](
+            width, height, allocation=allocation, cells_per_hop=cells_per_hop, **options
+        )
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"topology {key!r} rejected its options {sorted(options)}: {exc}"
+        ) from exc
 
 
 def _require_flat(kind: str, width: int, height: Optional[int]) -> None:
@@ -140,4 +150,55 @@ def _build_torus(
         cells_per_hop=cells_per_hop,
         wrap_x=True,
         wrap_y=True,
+    )
+
+
+@register_topology("fat_tree")
+def _build_fat_tree(
+    width: int,
+    height: Optional[int] = None,
+    *,
+    allocation: Optional[ResourceAllocation] = None,
+    cells_per_hop: int = 600,
+) -> MeshTopology:
+    """A k-ary fat-tree; ``width`` is the arity k (k^3/4 hosts)."""
+    if height not in (None, 4):
+        raise ConfigurationError(
+            f"a fat-tree always has 4 tiers; height must be 4 or omitted, got {height}"
+        )
+    return FatTreeTopology(width, allocation, cells_per_hop=cells_per_hop)
+
+
+@register_topology("leaf_spine")
+def _build_leaf_spine(
+    width: int,
+    height: Optional[int] = None,
+    *,
+    allocation: Optional[ResourceAllocation] = None,
+    cells_per_hop: int = 600,
+    hosts_per_leaf: Optional[int] = None,
+) -> MeshTopology:
+    """A two-tier Clos; ``width`` = leaves, ``height`` = spines.
+
+    ``hosts_per_leaf`` defaults to the spine count, i.e. an oversubscription
+    ratio of 1.0; raise it for oversubscribed fabrics.
+    """
+    spines = height if height is not None else max(width // 2, 1)
+    hosts = hosts_per_leaf if hosts_per_leaf is not None else spines
+    return LeafSpineTopology(width, spines, hosts, allocation, cells_per_hop=cells_per_hop)
+
+
+@register_topology("dragonfly")
+def _build_dragonfly(
+    width: int,
+    height: Optional[int] = None,
+    *,
+    allocation: Optional[ResourceAllocation] = None,
+    cells_per_hop: int = 600,
+    hosts_per_router: int = 1,
+) -> MeshTopology:
+    """A dragonfly; ``width`` = groups, ``height`` = routers per group."""
+    routers = height if height is not None else max(width // 2, 1)
+    return DragonflyTopology(
+        width, routers, hosts_per_router, allocation, cells_per_hop=cells_per_hop
     )

@@ -50,10 +50,11 @@ class MachineLayout(ABC):
     def __init__(self, topology: MeshTopology, num_qubits: int) -> None:
         if num_qubits < 1:
             raise ConfigurationError(f"num_qubits must be >= 1, got {num_qubits}")
-        if num_qubits > topology.node_count:
+        if num_qubits > topology.qubit_capacity:
             raise ConfigurationError(
                 f"{num_qubits} logical qubits do not fit on a "
-                f"{topology.width}x{topology.height} mesh"
+                f"{topology.width}x{topology.height} {topology.fabric} "
+                f"({topology.qubit_capacity} LQ sites)"
             )
         self.topology = topology
         self.num_qubits = num_qubits

@@ -19,7 +19,7 @@ way around.  The named fabric constructors live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator
 
 import networkx as nx
@@ -50,14 +50,27 @@ class LinkId:
 
     Adjacency is either geometric (Manhattan distance 1) or via a wrap-around
     link of a ring/torus fabric (colinear, joining coordinate 0 to the far
-    edge).  Anything else — diagonals, interior long jumps — is rejected.
+    edge).  Anything else — diagonals, interior long jumps — is rejected,
+    unless the link is declared *express*: the hierarchical fabrics
+    (fat-tree, leaf-spine, dragonfly) wire hosts to switches and switches to
+    switches across tiers, so their links are adjacent by construction of the
+    fabric graph rather than by grid geometry.  ``express`` is excluded from
+    equality/hashing: an express link and a grid link joining the same
+    endpoints are the same physical wire.
     """
 
     a: Coordinate
     b: Coordinate
+    express: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
-        if manhattan_distance(self.a, self.b) != 1 and not is_wrap_step(self.a, self.b):
+        if self.a == self.b:
+            raise ConfigurationError(f"a link needs two distinct endpoints, got {self.a} twice")
+        if (
+            not self.express
+            and manhattan_distance(self.a, self.b) != 1
+            and not is_wrap_step(self.a, self.b)
+        ):
             raise ConfigurationError(
                 f"a link must join adjacent T' nodes, got {self.a} and {self.b}"
             )
@@ -78,7 +91,7 @@ class LinkId:
     @property
     def is_wrap(self) -> bool:
         """True for the long-way-around link of a ring or torus."""
-        return manhattan_distance(self.a, self.b) != 1
+        return not self.express and manhattan_distance(self.a, self.b) != 1
 
     @property
     def stable_name(self) -> str:
@@ -138,8 +151,17 @@ class MeshTopology:
             for x in range(self.width):
                 self._add_link(Coordinate(x, 0), Coordinate(x, self.height - 1))
 
-    def _add_link(self, a: Coordinate, b: Coordinate) -> None:
-        link = LinkId(a, b)
+    def _add_link(self, a: Coordinate, b: Coordinate, *, express: bool = False) -> None:
+        link = LinkId(a, b, express=express)
+        if link in self._links:
+            # A silent re-add would double-register one physical wire — the
+            # degenerate-ring hazard: on a 1-wide or 2-node wrapped dimension
+            # the "long way around" *is* the direct link, so the wrap guards
+            # above must keep such requests from ever reaching this point.
+            raise ConfigurationError(
+                f"link {link.stable_name} is already registered; "
+                "one physical wire must not be added twice"
+            )
         self._graph.add_edge(a, b, link=link)
         self._links[link] = None
 
@@ -153,6 +175,15 @@ class MeshTopology:
     @property
     def node_count(self) -> int:
         return self.width * self.height
+
+    @property
+    def qubit_capacity(self) -> int:
+        """How many LQ sites can host logical qubits.
+
+        Every T' node of a mesh carries an LQ cluster; hierarchical fabrics
+        override this to their host count, since switch tiers hold no qubits.
+        """
+        return self.node_count
 
     @property
     def link_count(self) -> int:
@@ -180,7 +211,7 @@ class MeshTopology:
     def link_between(self, a: Coordinate, b: Coordinate) -> LinkId:
         if not self.are_adjacent(a, b):
             raise RoutingError(f"no link between {a} and {b}")
-        return LinkId(a, b)
+        return self._graph.edges[a, b]["link"]
 
     # -- distances ----------------------------------------------------------------
 

@@ -13,8 +13,10 @@ cache and CLI consume (:func:`run_scenario` is its deprecated alias).
 """
 
 from .spec import (
+    NetworkSpec,
     NoiseSpec,
     PhysicsSpec,
+    RoutingSpec,
     RuntimeSpec,
     ScenarioSpec,
     TenantSpec,
@@ -47,8 +49,10 @@ from .bench import bench_payload, current_git_sha, write_bench_file
 
 __all__ = [
     "BatchView",
+    "NetworkSpec",
     "NoiseSpec",
     "PhysicsSpec",
+    "RoutingSpec",
     "RunResult",
     "RuntimeSpec",
     "ScenarioSpec",

@@ -67,6 +67,29 @@ _CATALOG: Dict[str, Dict[str, Any]] = {
         "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
         "runtime": {"layout": "home_base"},
     },
+    "fattree_smoke": {
+        "description": "QFT on a k=4 fat tree (16 hosts) with ECMP multi-path "
+        "routing across the pods.",
+        "topology": {"kind": "fat_tree", "width": 4},
+        "workload": {"kind": "qft", "num_qubits": 12},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+        "network": {"routing": {"policy": "ecmp"}},
+    },
+    "dragonfly_adaptive": {
+        "description": "Random matching on a 4-group dragonfly with adaptive "
+        "(hysteresis-gated) Valiant routing over the global links.",
+        "topology": {
+            "kind": "dragonfly",
+            "width": 4,
+            "height": 2,
+            "options": {"hosts_per_router": 1},
+        },
+        "workload": {"kind": "permutation", "num_qubits": 8, "params": {"seed": 7}},
+        "physics": {"teleporters": 2, "generators": 2, "purifiers": 1},
+        "runtime": {"layout": "home_base"},
+        "network": {"routing": {"policy": "adaptive", "hysteresis": 1.0}},
+    },
     "service_smoke": {
         "description": "Open-loop service mode on the smoke mesh: two tenants, "
         "always-admit, FIFO (<1 s).",

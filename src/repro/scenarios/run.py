@@ -84,6 +84,7 @@ def build_machine(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> QuantumMachin
     physics = spec.physics
     runtime = spec.runtime
     noise = spec.noise
+    routing = spec.network.routing if spec.network is not None else None
     params = IonTrapParameters.default()
     if topo.cells_per_hop != params.cells_per_hop:
         params = params.with_hop_cells(topo.cells_per_hop)
@@ -107,6 +108,9 @@ def build_machine(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> QuantumMachin
         generator_bandwidth_scale=physics.generator_bandwidth_scale,
         track_fidelity=noise is not None,
         target_fidelity=noise.target_fidelity if noise is not None else None,
+        routing_policy=routing.policy if routing is not None else None,
+        routing_hysteresis=routing.hysteresis if routing is not None else None,
+        topology_options=dict(topo.options),
     )
     # Adopt (or create) the cross-run warm-start entry for this machine
     # structure: repeated sweep points and service runs then share channel

@@ -24,6 +24,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import ScenarioError
 from ..network.fabrics import list_topologies
+from ..network.routing import list_balancers
 from ..workloads.registry import list_workloads, workload_params
 
 #: Layout aliases accepted by :func:`repro.network.layout.build_layout`,
@@ -133,21 +134,36 @@ def _choice_field(
 
 @dataclass(frozen=True)
 class TopologySpec:
-    """Which fabric to build and how large."""
+    """Which fabric to build and how large.
+
+    ``options`` carries fabric-specific structural knobs (e.g.
+    ``hosts_per_leaf`` for ``leaf_spine``, ``hosts_per_router`` for
+    ``dragonfly``) passed straight through to the builder, which rejects
+    names it does not take.  An empty mapping is omitted from the dict form,
+    so pre-existing specs keep their hashes and cache slots.
+    """
 
     kind: str = "mesh"
     width: int = 8
     height: Optional[int] = None
     cells_per_hop: int = 600
+    options: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_dict(cls, data: Any) -> "TopologySpec":
         data = _require_mapping(data, "topology")
-        _reject_unknown(data, ("kind", "width", "height", "cells_per_hop"), "topology")
+        _reject_unknown(
+            data, ("kind", "width", "height", "cells_per_hop", "options"), "topology"
+        )
         kind = _choice_field(data, "kind", cls.kind, "topology", tuple(list_topologies()))
         height = data.get("height")
         if height is not None:
             height = _int_field(data, "height", 1, "topology", minimum=1)
+        options = _require_mapping(data.get("options"), "topology.options")
+        for opt_key in sorted(options):
+            options[opt_key] = _int_field(
+                options, opt_key, 1, "topology.options", minimum=1
+            )
         return cls(
             kind=kind,
             width=_int_field(data, "width", cls.width, "topology", minimum=1),
@@ -155,6 +171,7 @@ class TopologySpec:
             cells_per_hop=_int_field(
                 data, "cells_per_hop", cls.cells_per_hop, "topology", minimum=1
             ),
+            options=options,
         )
 
 
@@ -467,6 +484,61 @@ class TrafficSpec:
 
 
 @dataclass(frozen=True)
+class RoutingSpec:
+    """Load-balanced multi-path routing policy (see :mod:`repro.network.routing`).
+
+    * ``policy`` — ``ecmp`` (deterministic SHA-256 hash of (flow id, src,
+      dst) over the minimal candidates), ``least_loaded`` (minimise current
+      max link occupancy) or ``adaptive`` (keep the ECMP choice unless its
+      bottleneck exceeds the least-loaded one by more than ``hysteresis``
+      active channels);
+    * ``hysteresis`` — the adaptive policy's divert threshold in channels
+      (accepted and ignored by the other policies so the policy axis sweeps
+      with one parameter surface).
+    """
+
+    policy: str = "ecmp"
+    hysteresis: float = 1.0
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RoutingSpec":
+        data = _require_mapping(data, "network.routing")
+        _reject_unknown(data, ("policy", "hysteresis"), "network.routing")
+        return cls(
+            policy=_choice_field(
+                data, "policy", cls.policy, "network.routing", tuple(list_balancers())
+            ),
+            hysteresis=_float_field(
+                data, "hysteresis", cls.hysteresis, "network.routing", minimum=0.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Network-level behaviour beyond fabric shape.
+
+    The *presence* of a ``network`` section with a ``routing`` mapping
+    switches load-balanced multi-path routing on: every channel open then
+    runs the configured policy over the fabric's candidate paths and a
+    ``route`` trace record precedes each ``channel_open``.  Scenarios
+    without the section run exactly as before — single deterministic route
+    per pair, unchanged spec hashes, byte-identical golden traces.
+    """
+
+    routing: Optional[RoutingSpec] = None
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "NetworkSpec":
+        data = _require_mapping(data, "network")
+        _reject_unknown(data, ("routing",), "network")
+        routing = data.get("routing")
+        return cls(
+            routing=RoutingSpec.from_dict(routing) if routing is not None else None
+        )
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """How the scenario executes: backend, layout, allocator, routing, limits."""
 
@@ -496,9 +568,10 @@ class RuntimeSpec:
 
 
 #: Top-level scenario keys (``extends`` is consumed by the loader).  The
-#: ``noise`` and ``traffic`` sections are optional: absent means the fidelity
-#: pipeline (resp. the open-loop service mode) is off.
-SECTION_KEYS = ("topology", "workload", "physics", "runtime", "noise", "traffic")
+#: ``noise``, ``traffic`` and ``network`` sections are optional: absent means
+#: the fidelity pipeline (resp. the open-loop service mode, resp.
+#: load-balanced multi-path routing) is off.
+SECTION_KEYS = ("topology", "workload", "physics", "runtime", "noise", "traffic", "network")
 TOP_LEVEL_KEYS = ("name", "description", "extends", *SECTION_KEYS)
 
 
@@ -515,6 +588,8 @@ class ScenarioSpec:
     noise: Optional[NoiseSpec] = None
     #: Optional open-loop traffic; None keeps the scenario in batch mode.
     traffic: Optional[TrafficSpec] = None
+    #: Optional network behaviour; None keeps single-path routing.
+    network: Optional[NetworkSpec] = None
     description: str = ""
 
     @classmethod
@@ -539,6 +614,8 @@ class ScenarioSpec:
         noise = data.get("noise")
         # Same convention for ``traffic``: null == absent == batch mode.
         traffic = data.get("traffic")
+        # And for ``network``: null == absent == single-path routing.
+        network = data.get("network")
         return cls(
             name=resolved_name.strip(),
             topology=TopologySpec.from_dict(data.get("topology")),
@@ -547,21 +624,27 @@ class ScenarioSpec:
             runtime=RuntimeSpec.from_dict(data.get("runtime")),
             noise=NoiseSpec.from_dict(noise) if noise is not None else None,
             traffic=TrafficSpec.from_dict(traffic) if traffic is not None else None,
+            network=NetworkSpec.from_dict(network) if network is not None else None,
             description=description,
         )
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form; ``from_dict`` round-trips it exactly.
 
-        ``noise`` and ``traffic`` are omitted when unset, so specs predating
-        the fidelity pipeline and the service mode serialize (and hash — see
-        :meth:`canonical_dict`) exactly as they always did.
+        ``noise``, ``traffic`` and ``network`` are omitted when unset — and
+        empty ``topology.options`` likewise — so specs predating the fidelity
+        pipeline, the service mode and multi-path routing serialize (and hash
+        — see :meth:`canonical_dict`) exactly as they always did.
         """
         payload = asdict(self)
         if self.noise is None:
             payload.pop("noise")
         if self.traffic is None:
             payload.pop("traffic")
+        if self.network is None:
+            payload.pop("network")
+        if not self.topology.options:
+            payload["topology"].pop("options")
         return payload
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -602,6 +685,16 @@ class ScenarioSpec:
         """
         return replace(
             self, traffic=TrafficSpec.from_dict(traffic) if traffic is not None else None
+        )
+
+    def with_network(self, network: Optional[Mapping[str, Any]]) -> "ScenarioSpec":
+        """The same scenario with a (validated) network section.
+
+        ``None`` returns the scenario to single-path routing; a mapping with
+        a ``routing`` key switches load-balanced multi-path routing on.
+        """
+        return replace(
+            self, network=NetworkSpec.from_dict(network) if network is not None else None
         )
 
     @property

@@ -325,7 +325,7 @@ class DetailedTransport(TransportBackend):
 
     def start(self, planned: PlannedCommunication, done: Callable[[], None]) -> None:
         """Begin servicing a planned communication at per-pair granularity."""
-        flow_id = self._open_channel(planned)
+        flow_id, planned = self._open_channel(planned)
         channel = _DetailedChannel(self, flow_id, planned, done)
         self._active[flow_id] = channel
         channel.begin()

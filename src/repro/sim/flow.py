@@ -189,7 +189,7 @@ class FlowTransport(TransportBackend):
     ) -> None:
         """Begin servicing a planned communication; ``done`` fires at completion."""
         self._advance_time()
-        flow_id = self._open_channel(planned)
+        flow_id, planned = self._open_channel(planned)
         profile = self.machine.flow_profile(planned.plan.hops)
         flow = ChannelFlow(
             flow_id=flow_id,
@@ -258,16 +258,22 @@ class FlowTransport(TransportBackend):
     def _build_demands(self, planned: PlannedCommunication) -> Dict[ResourceKey, float]:
         """Demand vector for a planned communication, warm-cache aware.
 
-        The demand dict is a pure function of (source, destination) for a
-        fixed machine structure, and it is read-only once built, so machines
+        The demand dict is a pure function of the traversed path for a fixed
+        machine structure, and it is read-only once built, so machines
         attached to a warm-start entry share one dict per endpoint pair
-        across flows and across runs.
+        across flows and across runs.  Under a load balancer the same pair
+        may take different paths, so the cache keys on the full node
+        sequence instead (the ``network`` section is part of the warm-start
+        structural key, so balanced and unbalanced runs never share entries).
         """
         cache = self.machine.demand_cache
         if cache is None:
             return self._compute_demands(planned)
         path = planned.plan.path
-        cache_key = (path.source.as_tuple(), path.destination.as_tuple())
+        if self.balancer is not None:
+            cache_key = tuple(node.as_tuple() for node in path.nodes)
+        else:
+            cache_key = (path.source.as_tuple(), path.destination.as_tuple())
         demands = cache.get(cache_key)
         if demands is None:
             demands = self._compute_demands(planned)

@@ -89,6 +89,9 @@ class QuantumMachine:
         generator_bandwidth_scale: float = 1.0,
         track_fidelity: bool = False,
         target_fidelity: Optional[float] = None,
+        routing_policy: Optional[str] = None,
+        routing_hysteresis: Optional[float] = None,
+        topology_options: Optional[Dict[str, int]] = None,
     ) -> None:
         if logical_gate_us < 0:
             raise ConfigurationError(f"logical_gate_us must be non-negative, got {logical_gate_us}")
@@ -121,9 +124,23 @@ class QuantumMachine:
             height,
             allocation=self.allocation,
             cells_per_hop=self.params.cells_per_hop,
+            **(topology_options or {}),
         )
         self.topology_kind = topology_kind
-        self.num_qubits = num_qubits or self.topology.node_count
+        #: Routing policy (see :mod:`repro.network.routing`); ``None`` keeps
+        #: the historical single deterministic route per endpoint pair.
+        self.routing_policy = routing_policy
+        self.routing_hysteresis = routing_hysteresis
+        self._load_balancer = None
+        if routing_policy is not None:
+            # Validate eagerly so a bad spec fails at machine build, not at
+            # the first channel open mid-simulation.
+            from ..network.routing import create_balancer
+
+            self._load_balancer = create_balancer(
+                routing_policy, hysteresis=routing_hysteresis
+            )
+        self.num_qubits = num_qubits or self.topology.qubit_capacity
         self.layout: MachineLayout = build_layout(layout, self.topology, self.num_qubits)
         self.layout_name = self.layout.name
         self.planner = ChannelPlanner(
@@ -211,6 +228,16 @@ class QuantumMachine:
         return machine_record(self, workload=workload, operations=operations, t_us=t_us)
 
     # -- fidelity accounting --------------------------------------------------------------
+
+    def load_balancer(self):
+        """The configured :class:`~repro.network.routing.LoadBalancer`, or None.
+
+        Transport backends call this once at construction; ``None`` (no
+        ``network.routing`` spec section) means every channel takes the
+        planner's single deterministic route, bitwise-identical to the
+        pre-multi-path behaviour.
+        """
+        return self._load_balancer
 
     def fidelity_model(self) -> Optional[ChannelFidelityModel]:
         """The shared per-channel fidelity model, or None when not tracking.

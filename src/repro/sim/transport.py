@@ -22,14 +22,17 @@ the verify harness — select a backend by name.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Optional, Tuple, Type
 
 from ..errors import ConfigurationError, SimulationError
-from ..trace.records import ChannelClosed, ChannelFidelity, ChannelOpened
+from ..network.topology import LinkId
+from ..trace.records import ChannelClosed, ChannelFidelity, ChannelOpened, RouteChosen
 from .results import ChannelRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.routing import LoadBalancer
     from .control import PlannedCommunication
     from .engine import SimulationEngine
     from .fidelity import ChannelFidelityModel
@@ -62,6 +65,15 @@ class TransportBackend(ABC):
         #: Shared per-channel fidelity model; None unless the machine carries
         #: a noise model, so untracked runs pay nothing on any path below.
         self.fidelity: Optional["ChannelFidelityModel"] = machine.fidelity_model()
+        #: Load balancer; None unless the scenario carries a
+        #: ``network.routing`` section, so unbalanced runs pay nothing.
+        self.balancer: Optional["LoadBalancer"] = machine.load_balancer()
+        #: The balancer's load view: active channels per link, maintained
+        #: identically by both backends (channel open/close counts, never
+        #: fluid rates), which is what makes policy choices — and therefore
+        #: paths, records and goldens — backend-invariant.
+        self._link_flows: Dict[LinkId, int] = {}
+        self._flow_links: Dict[int, Tuple[LinkId, ...]] = {}
 
     # -- contract -----------------------------------------------------------------
 
@@ -80,8 +92,18 @@ class TransportBackend(ABC):
 
     # -- shared channel bookkeeping ---------------------------------------------------
 
-    def _open_channel(self, planned: "PlannedCommunication") -> int:
-        """Allocate a flow id and emit the :class:`ChannelOpened` record.
+    def _open_channel(
+        self, planned: "PlannedCommunication"
+    ) -> Tuple[int, "PlannedCommunication"]:
+        """Allocate a flow id, resolve the path and emit the open records.
+
+        Returns the (possibly re-planned) communication: when the machine
+        carries a load balancer, the policy picks one of the fabric's
+        candidate paths against the current link-load view *here*, at channel
+        open — the re-evaluation point the adaptive policy is named for — and
+        the channel is re-planned along the chosen path (a
+        :class:`~repro.trace.RouteChosen` record precedes the open).  Without
+        a balancer the planner's deterministic route stands untouched.
 
         On noise-tracked runs this is also where the channel's purification
         level is selected: the fidelity profile for the channel's hop count is
@@ -90,13 +112,36 @@ class TransportBackend(ABC):
         """
         if planned.plan is None:
             raise SimulationError("local communications do not need the transport backend")
-        if self.fidelity is not None:
-            self.fidelity.profile(planned.hops)
         flow_id = self._next_flow_id
         self._next_flow_id += 1
         trace = self.engine.trace
+        request = planned.request
+        if self.balancer is not None:
+            planner = self.machine.planner
+            candidates = planner.candidates(request.source, request.dest)
+            index = self.balancer.choose(
+                flow_id, request.source, request.dest, candidates, self._link_flows
+            )
+            chosen = candidates[index]
+            plan = planner.plan_via(request.source, request.dest, chosen)
+            planned = dataclasses.replace(planned, plan=plan)
+            links = chosen.links
+            for link in links:
+                self._link_flows[link] = self._link_flows.get(link, 0) + 1
+            self._flow_links[flow_id] = links
+            if trace is not None:
+                trace.emit(
+                    RouteChosen(
+                        t_us=self.engine.now,
+                        flow_id=flow_id,
+                        policy=self.balancer.policy,
+                        path=chosen.stable_name,
+                        candidates=len(candidates),
+                    )
+                )
+        if self.fidelity is not None:
+            self.fidelity.profile(planned.hops)
         if trace is not None:
-            request = planned.request
             trace.emit(
                 ChannelOpened(
                     t_us=self.engine.now,
@@ -107,7 +152,7 @@ class TransportBackend(ABC):
                     purpose=request.purpose,
                 )
             )
-        return flow_id
+        return flow_id, planned
 
     def _close_channel(
         self,
@@ -128,6 +173,14 @@ class TransportBackend(ABC):
         and ``purification_level``; backends that do not (the fluid model)
         inherit the analytical profile values.
         """
+        links = self._flow_links.pop(flow_id, None)
+        if links is not None:
+            for link in links:
+                remaining = self._link_flows.get(link, 0) - 1
+                if remaining > 0:
+                    self._link_flows[link] = remaining
+                else:
+                    self._link_flows.pop(link, None)
         request = planned.request
         profile = None
         if self.fidelity is not None:

@@ -27,6 +27,7 @@ from .records import (
     RequestCompleted,
     RequestDispatched,
     RequestDropped,
+    RouteChosen,
     RunEnded,
     RunStarted,
     TeleportPerformed,
@@ -64,6 +65,7 @@ __all__ = [
     "RequestCompleted",
     "RequestDispatched",
     "RequestDropped",
+    "RouteChosen",
     "RunEnded",
     "RunStarted",
     "TeleportPerformed",

@@ -218,6 +218,27 @@ class RequestCompleted(TraceRecord):
 
 
 @dataclass(frozen=True)
+class RouteChosen(TraceRecord):
+    """A load balancer picked a candidate path at channel open.
+
+    Emitted only when a ``network.routing`` policy is configured, immediately
+    before :class:`ChannelOpened` — so scenarios without the section keep
+    byte-identical goldens, the same presence contract as ``fidelity`` and
+    the request lifecycle.  ``path`` is the chosen candidate's
+    :attr:`~repro.network.routing.Path.stable_name` (payloads stay flat;
+    nested coordinate tuples would not survive the JSONL round trip), and
+    ``candidates`` counts the fabric's full enumeration for the pair.
+    """
+
+    kind: ClassVar[str] = "route"
+
+    flow_id: int
+    policy: str
+    path: str
+    candidates: int
+
+
+@dataclass(frozen=True)
 class FlowRateChanged(TraceRecord):
     """A max-min reallocation changed one flow's service rate."""
 
@@ -296,6 +317,7 @@ RECORD_TYPES: Dict[str, Type[TraceRecord]] = {
         RequestDropped,
         RequestDispatched,
         RequestCompleted,
+        RouteChosen,
         FlowRateChanged,
         EprPairGenerated,
         PurificationMilestone,
@@ -330,6 +352,7 @@ CANONICAL_KINDS = (
             ChannelOpened.kind,
             ChannelClosed.kind,
             ChannelFidelity.kind,
+            RouteChosen.kind,
         }
     )
     | REQUEST_KINDS

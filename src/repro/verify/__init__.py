@@ -27,6 +27,8 @@ _EXPORTS = {
     "Divergence": "harness",
     "FIDELITY_ABS_TOL": "harness",
     "PARITY_NOISE": "harness",
+    "ROUTING_MAKESPAN_TOL": "harness",
+    "ROUTING_POLICIES": "harness",
     "ScenarioVerdict": "harness",
     "TracedRun": "harness",
     "compare_backend_runs": "harness",
@@ -36,6 +38,7 @@ _EXPORTS = {
     "traced_run": "harness",
     "verify_backends": "harness",
     "verify_fidelity": "harness",
+    "verify_routing": "harness",
     "verify_scenario": "harness",
     "verify_traffic": "harness",
 }

@@ -27,6 +27,13 @@ Three subcommands over the same scenario selection (catalog names, a
     be bitwise identical, the completed request sets equal, the completion
     orders within the documented disorder tolerance and the delivered loads
     within the documented ratio.  Exits non-zero on any divergence.
+``routing``
+    Replay each scenario under every load-balancing policy: every opened
+    channel must emit exactly one well-formed ``route`` record, the set of
+    completed work must be identical across policies, ``least_loaded`` must
+    not lose to ``ecmp`` on makespan beyond the documented tolerance, and
+    the fluid and detailed backends must agree per policy within the
+    documented tolerances.  Exits non-zero on any divergence.
 """
 
 from __future__ import annotations
@@ -130,6 +137,20 @@ def add_verify_parser(subparsers: argparse._SubParsersAction) -> None:
     )
     _common(traffic)
 
+    routing = verify_subs.add_parser(
+        "routing",
+        help="load-balancing policy equivalence (completion sets, makespan "
+        "ordering, route records, fluid-vs-detailed parity per policy)",
+    )
+    _common(routing)
+    routing.add_argument(
+        "--policies",
+        default=None,
+        metavar="P,Q",
+        help="comma-separated routing policies to replay (default: the "
+        "documented ROUTING_POLICIES)",
+    )
+
 
 def _selected_specs(args: argparse.Namespace) -> List["ScenarioSpec"]:
     from ..scenarios import select_scenarios
@@ -152,6 +173,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return _cmd_fidelity(args)
     if args.verify_command == "traffic":
         return _cmd_traffic(args)
+    if args.verify_command == "routing":
+        return _cmd_routing(args)
     raise AssertionError(  # pragma: no cover
         f"unhandled verify command {args.verify_command!r}"
     )
@@ -243,6 +266,32 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         f"traffic parity on {total} scenario{'s' if total != 1 else ''}: "
         f"{total - failures} agreed, {failures} diverged"
         + (f" ({skipped} batch scenario{'s' if skipped != 1 else ''} skipped)" if skipped else "")
+    )
+    return 1 if failures else 0
+
+
+def _cmd_routing(args: argparse.Namespace) -> int:
+    from .harness import ROUTING_POLICIES, verify_routing
+
+    policies = (
+        ROUTING_POLICIES
+        if args.policies is None
+        else tuple(p for p in args.policies.split(",") if p)
+    )
+    specs = _selected_specs(args)
+    width = max(len(spec.name) for spec in specs)
+    failures = 0
+    for spec in specs:
+        divergences = verify_routing(spec, policies=policies)
+        status = "ok" if not divergences else f"DIVERGED ({len(divergences)})"
+        print(f"{spec.name:{width}s}  policies={','.join(policies)}  {status}")
+        for divergence in divergences:
+            print(f"  {divergence}")
+        failures += bool(divergences)
+    total = len(specs)
+    print(
+        f"routing equivalence on {total} scenario{'s' if total != 1 else ''}: "
+        f"{total - failures} agreed, {failures} diverged"
     )
     return 1 if failures else 0
 

@@ -46,6 +46,7 @@ from ..trace import (
     RequestArrived,
     RequestCompleted,
     RequestDropped,
+    RouteChosen,
     TraceBus,
     TraceRecord,
 )
@@ -88,6 +89,17 @@ FIDELITY_ABS_TOL = 1e-6
 #: keeps every catalog scenario inside the purifying regime (purification
 #: level >= 1) where both backends exercise their full fidelity paths.
 PARITY_NOISE = {"base_fidelity": 0.999, "target_fidelity": 0.9999}
+
+#: The policy axis :func:`verify_routing` sweeps (every registered balancer).
+ROUTING_POLICIES = ("ecmp", "least_loaded", "adaptive")
+
+#: Allowed relative excess of the least-loaded makespan over the ECMP one.
+#: On congested workloads load-aware placement should win (and does, by a
+#: wide margin, on the multi-path catalog scenarios); on uncongested or
+#: single-path fabrics the two policies land on identical paths and the
+#: makespans tie exactly.  The band only absorbs near-tie noise — a genuine
+#: inversion means the load view or the policy is broken.
+ROUTING_MAKESPAN_TOL = 0.05
 
 
 def _as_spec(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> ScenarioSpec:
@@ -559,6 +571,120 @@ def verify_fidelity(
                 baseline, traced_run(spec, backend=other), tolerance=tolerance
             )
         )
+    return divergences
+
+
+# -- routing-policy diff ------------------------------------------------------------
+
+
+def _completion_identity(run: TracedRun) -> List[int]:
+    """What the run completed, order-independent: op indices or request ids."""
+    if run.spec.traffic is not None:
+        return sorted(record.request_id for record in run.of_kind(RequestCompleted.kind))
+    return sorted(record.op_index for record in run.of_kind(OperationRetired.kind))
+
+
+def verify_routing(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    *,
+    policies: Sequence[str] = ROUTING_POLICIES,
+    backends: Sequence[str] = BACKEND_NAMES,
+    makespan_tolerance: float = ROUTING_MAKESPAN_TOL,
+    makespan_ratio: float = BACKEND_MAKESPAN_RATIO,
+    order_tolerance: float = BACKEND_ORDER_TOLERANCE,
+) -> List[Divergence]:
+    """Diff load-balancing policies against each other on one scenario.
+
+    The scenario is replayed once per policy (its ``network.routing`` section
+    overridden; the rest of the spec untouched) and the runs must agree on
+    *what* completed — path choice may reshape contention and therefore
+    timing, but never the delivered computation:
+
+    * every policy completes the identical operation (or, for service
+      scenarios, request) set;
+    * every channel open is preceded by exactly one ``route`` record naming
+      the policy, and each record's candidate count covers the chosen path;
+    * the least-loaded makespan never exceeds the ECMP one by more than
+      ``makespan_tolerance`` (load-aware placement must not lose to
+      oblivious hashing — they tie exactly on single-path fabrics);
+    * per policy, the fluid and detailed backends agree within the standard
+      cross-backend tolerances (:func:`compare_backend_runs` /
+      :func:`compare_traffic_runs`): the load view is channel counts, which
+      both granularities maintain identically, so a policy must not open a
+      divergence the unbalanced backends do not already have.
+    """
+    spec = _as_spec(spec)
+    name = spec.name
+    policies = tuple(policies)
+    if not policies:
+        raise ScenarioError("the routing diff needs at least one policy")
+    divergences: List[Divergence] = []
+    runs: Dict[str, TracedRun] = {}
+    for policy in policies:
+        pspec = spec.with_network({"routing": {"policy": policy}})
+        run = traced_run(pspec, backend=backends[0])
+        runs[policy] = run
+
+        routes = run.of_kind(RouteChosen.kind)
+        opens = run.of_kind(ChannelOpened.kind)
+        if len(routes) != len(opens):
+            divergences.append(
+                Divergence(
+                    name,
+                    "routing_records",
+                    f"{policy}: {len(routes)} route records for {len(opens)} channel opens",
+                )
+            )
+        bad = [r for r in routes if r.policy != policy or r.candidates < 1]
+        if bad:
+            divergences.append(
+                Divergence(
+                    name,
+                    "routing_records",
+                    f"{policy}: {len(bad)} route records malformed (first: {bad[0]})",
+                )
+            )
+
+        if len(backends) > 1:
+            compare = (
+                compare_traffic_runs if spec.traffic is not None else compare_backend_runs
+            )
+            for other in backends[1:]:
+                divergences.extend(
+                    compare(
+                        run,
+                        traced_run(pspec, backend=other),
+                        makespan_ratio=makespan_ratio,
+                        order_tolerance=order_tolerance,
+                    )
+                )
+
+    baseline_policy = policies[0]
+    completed = _completion_identity(runs[baseline_policy])
+    for policy in policies[1:]:
+        other = _completion_identity(runs[policy])
+        if other != completed:
+            divergences.append(
+                Divergence(
+                    name,
+                    "routing_completion_set",
+                    f"{policy} completed {len(other)} items vs "
+                    f"{len(completed)} under {baseline_policy}",
+                )
+            )
+
+    if "ecmp" in runs and "least_loaded" in runs:
+        ecmp_makespan = runs["ecmp"].makespan_us
+        ll_makespan = runs["least_loaded"].makespan_us
+        if ll_makespan > ecmp_makespan * (1.0 + makespan_tolerance):
+            divergences.append(
+                Divergence(
+                    name,
+                    "routing_makespan_order",
+                    f"least_loaded={ll_makespan:.3f} us exceeds "
+                    f"ecmp={ecmp_makespan:.3f} us by more than {makespan_tolerance:.0%}",
+                )
+            )
     return divergences
 
 

@@ -125,6 +125,49 @@ class TestMeshTopology:
         assert "16x16" in square_mesh(16).describe()
 
 
+class TestWrapLinkRegistration:
+    """Regression: degenerate wrapped dimensions must not double-register.
+
+    On a 1-wide or 2-node wrapped dimension the "long way around" is the
+    direct link itself; the wrap pass used to re-add it under a second
+    (asymmetrically ordered) LinkId, splitting one physical wire's state
+    across two registry entries.
+    """
+
+    def test_linkid_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            LinkId(Coordinate(0, 0), Coordinate(0, 0))
+
+    def test_wrap_link_is_orientation_symmetric(self):
+        a, b = Coordinate(0, 0), Coordinate(8, 0)
+        assert LinkId(a, b) == LinkId(b, a)
+        assert hash(LinkId(a, b)) == hash(LinkId(b, a))
+        assert LinkId(a, b).stable_name == LinkId(b, a).stable_name
+
+    def test_two_node_ring_collapses_wrap(self):
+        # The wrap would duplicate the single direct link; the guard drops it.
+        ring = MeshTopology(2, 1, wrap_x=True)
+        assert not ring.wrap_x
+        assert ring.link_count == 1
+
+    def test_one_wide_torus_keeps_only_real_wraps(self):
+        torus = MeshTopology(1, 4, wrap_x=True, wrap_y=True)
+        assert not torus.wrap_x  # width 1: no second node to wrap to
+        assert torus.wrap_y
+        assert torus.link_count == 4  # 3 vertical + 1 wrap, each registered once
+
+    def test_duplicate_registration_raises(self):
+        ring = MeshTopology(9, 1, wrap_x=True)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            ring._add_link(Coordinate(0, 0), Coordinate(8, 0))
+
+    def test_ring_wrap_link_resolves_from_either_direction(self):
+        ring = MeshTopology(9, 1, wrap_x=True)
+        a, b = Coordinate(0, 0), Coordinate(8, 0)
+        assert ring.link_between(a, b) is ring.link_between(b, a)
+        assert ring.link_between(a, b).is_wrap
+
+
 class TestResourceAllocation:
     def test_uniform(self):
         allocation = ResourceAllocation.uniform(1024)

@@ -24,7 +24,7 @@ from repro.sim.control import PlannedCommunication
 from repro.sim.engine import SimulationEngine
 from repro.sim.flow import FlowTransport
 from repro.sim.machine import QuantumMachine
-from repro.trace import FlowRateChanged, TraceBus
+from repro.trace import FlowRateChanged, RouteChosen, TraceBus
 
 ALL_ALLOCATORS = ("incremental", "reference", "vectorized")
 
@@ -161,6 +161,87 @@ class TestMaxMinFairnessInvariants:
         for kind, value in raw.items():
             assert 0.0 <= value <= 1.0 + EPS, f"{kind} utilisation {value} needs the clamp"
             assert clamped[kind] <= 1.0
+
+
+# --------------------------------------------------------------------------
+# Three-way allocator parity on multi-path fabrics under every routing policy
+
+#: (fabric kwargs, host count) — small instances so hypothesis stays fast.
+FABRIC_CONFIGS = (
+    ({"topology_kind": "fat_tree", "width": 4}, 16),
+    ({"topology_kind": "leaf_spine", "width": 3, "height": 2,
+      "topology_options": {"hosts_per_leaf": 2}}, 6),
+)
+
+ROUTING_POLICIES = ("ecmp", "least_loaded", "adaptive")
+
+#: (host-index pair, start-delay) triples; indices reduced mod host count.
+fabric_channel_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1023),
+        st.integers(min_value=0, max_value=1023),
+        st.floats(min_value=0.0, max_value=5000.0),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _run_fabric_transport(config, policy, specs, allocator, trace=None):
+    kwargs, hosts = config
+    machine = QuantumMachine(
+        allocation=ResourceAllocation(2, 2, 1),
+        routing_policy=policy,
+        **kwargs,
+    )
+    engine = SimulationEngine(trace=trace)
+    transport = FlowTransport(engine, machine, allocator=allocator)
+    for qubit, (ia, ib, delay) in enumerate(specs):
+        source = machine.topology.host(ia % hosts)
+        dest = machine.topology.host(ib % hosts)
+        planned = _planned(machine, source, dest, qubit)
+        engine.schedule(delay, lambda p=planned: transport.start(p, lambda: None))
+    engine.run()
+    return transport, engine
+
+
+class TestFabricAllocatorParity:
+    @given(
+        st.sampled_from(FABRIC_CONFIGS),
+        st.sampled_from(ROUTING_POLICIES),
+        fabric_channel_specs,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_allocators_bitwise_identical_under_balancing(
+        self, config, policy, specs
+    ):
+        """Load-balanced multi-path routing must not break the allocator
+        equivalence: on random fat-tree/leaf-spine channel mixes, every
+        policy yields bitwise-equal rate timelines, channel records and
+        makespans across reference/incremental/vectorized."""
+        hosts = config[1]
+        specs = [(a, b, t) for a, b, t in specs if a % hosts != b % hosts]
+        if not specs:
+            return
+        outcomes = {}
+        for allocator in ALL_ALLOCATORS:
+            bus = TraceBus(kinds=[FlowRateChanged.kind, RouteChosen.kind])
+            transport, engine = _run_fabric_transport(
+                config, policy, specs, allocator, trace=bus
+            )
+            outcomes[allocator] = {
+                "trace": list(bus.records),
+                "channels": [tuple(sorted(vars(r).items())) for r in transport.records],
+                "now": engine.now,
+            }
+        baseline = outcomes["reference"]
+        routes = [r for r in baseline["trace"] if r.kind == RouteChosen.kind]
+        assert len(routes) == len(specs)
+        assert all(r.policy == policy for r in routes)
+        for allocator in ("incremental", "vectorized"):
+            assert outcomes[allocator]["trace"] == baseline["trace"], allocator
+            assert outcomes[allocator]["channels"] == baseline["channels"], allocator
+            assert outcomes[allocator]["now"] == baseline["now"], allocator
 
 
 # --------------------------------------------------------------------------

@@ -124,6 +124,25 @@ class TestCheckedInGoldens:
             diff = diff_golden(get_scenario(name))
             assert diff.ok, diff.summary()
 
+    def test_fabric_fixtures_match_and_carry_route_records(self):
+        # The big-fabric scenarios pin their route choices: every channel
+        # open is preceded by exactly one route record naming the policy.
+        for name, policy in (
+            ("fattree_smoke", "ecmp"),
+            ("dragonfly_adaptive", "adaptive"),
+        ):
+            diff = diff_golden(get_scenario(name))
+            assert diff.ok, diff.summary()
+            with open(diff.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+            routes = [line for line in lines if '"kind":"route"' in line]
+            opens = [line for line in lines if '"kind":"channel_open"' in line]
+            assert len(routes) == len(opens) > 0
+            assert all(f'"policy":"{policy}"' in line for line in routes)
+        # Route records must not leak into pre-existing fixtures.
+        with open(golden_path("smoke"), "r", encoding="utf-8") as handle:
+            assert '"kind":"route"' not in handle.read()
+
     def test_noisy_fixture_matches_and_carries_fidelity_records(self):
         spec = get_scenario("smoke_noisy")
         diff = diff_golden(spec)
